@@ -1,0 +1,70 @@
+"""E1 — Figure 3 (2-D table): partition quality of Multilevel-KL vs PNR.
+
+Paper protocol (Section 6): adaptively refine the 2-D corner-Laplace mesh
+level by level; after each refinement partition the adapted mesh with
+(a) Multilevel-KL on the fine dual graph and (b) PNR on the weighted coarse
+dual graph (α = 0.1); report the number of shared vertices for p subsets.
+
+Expected shape: PNR's shared-vertex counts track Multilevel-KL's within a
+small factor at every level — partitioning the coarse graph loses little
+quality (the point of Section 6 and Theorem 6.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import paper_scale, proc_counts
+from repro.core import PNR
+from repro.experiments import format_table, laplace_ladder
+from repro.mesh import fine_dual_graph, shared_vertex_count
+from repro.partition import multilevel_partition
+
+
+def run_quality_ladder(dim: int, plist):
+    rows = []
+    ratios = []
+    pnr_state = {p: None for p in plist}
+    pnr = PNR(seed=1)
+    for level, amesh in laplace_ladder(dim=dim):
+        mesh = amesh.mesh
+        fine_graph, _ = fine_dual_graph(mesh)
+        row_ml = []
+        row_pnr = []
+        for p in plist:
+            aml = multilevel_partition(fine_graph, p, seed=1)
+            sv_ml = shared_vertex_count(mesh, aml)
+            if pnr_state[p] is None:
+                coarse = pnr.initial_partition(amesh, p)
+            else:
+                coarse = pnr.repartition(amesh, p, pnr_state[p])
+            pnr_state[p] = coarse
+            sv_pnr = shared_vertex_count(mesh, pnr.induced_fine(amesh, coarse))
+            row_ml.append(sv_ml)
+            row_pnr.append(sv_pnr)
+            if sv_ml > 0:
+                ratios.append(sv_pnr / sv_ml)
+        rows.append((level, amesh.n_leaves, *row_ml, *row_pnr))
+    return rows, ratios
+
+
+def test_fig3_2d(benchmark, write_result):
+    plist = proc_counts(reduced=[4, 8, 16], paper=[4, 8, 16, 32, 64, 128])
+    rows, ratios = benchmark.pedantic(
+        run_quality_ladder, args=(2, plist), rounds=1, iterations=1
+    )
+    headers = (
+        ["level", "elems"]
+        + [f"MLKL p={p}" for p in plist]
+        + [f"PNR p={p}" for p in plist]
+    )
+    write_result(
+        "fig3_quality_2d",
+        format_table(headers, rows, title="Figure 3 (2D): shared vertices, Multilevel-KL vs PNR"),
+    )
+    ratios = np.asarray(ratios)
+    # Paper: "PNR provides very high quality partitions" — same ballpark as
+    # Multilevel-KL.  Allow generous slack for the reduced scale.
+    assert ratios.mean() < 1.5, f"PNR quality degraded on average: {ratios.mean():.2f}x"
+    assert ratios.max() < 2.5, f"PNR quality outlier: {ratios.max():.2f}x"
+    benchmark.extra_info["mean_quality_ratio"] = float(ratios.mean())

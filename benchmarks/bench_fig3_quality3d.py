@@ -1,0 +1,34 @@
+"""E2 — Figure 3 (3-D table): Multilevel-KL vs PNR quality on the 3-D
+corner-Laplace ladder (Section 6's tetrahedral analog).
+
+Same protocol and expected shape as the 2-D bench; the paper reports the
+3-D quality gap to be even smaller than in 2-D.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_fig3_quality2d import run_quality_ladder
+from conftest import proc_counts
+from repro.experiments import format_table
+
+
+def test_fig3_3d(benchmark, write_result):
+    plist = proc_counts(reduced=[4, 8, 16], paper=[4, 8, 16, 32, 64, 128])
+    rows, ratios = benchmark.pedantic(
+        run_quality_ladder, args=(3, plist), rounds=1, iterations=1
+    )
+    headers = (
+        ["level", "elems"]
+        + [f"MLKL p={p}" for p in plist]
+        + [f"PNR p={p}" for p in plist]
+    )
+    write_result(
+        "fig3_quality_3d",
+        format_table(headers, rows, title="Figure 3 (3D): shared vertices, Multilevel-KL vs PNR"),
+    )
+    ratios = np.asarray(ratios)
+    assert ratios.mean() < 1.5, f"PNR quality degraded on average: {ratios.mean():.2f}x"
+    assert ratios.max() < 2.5, f"PNR quality outlier: {ratios.max():.2f}x"
+    benchmark.extra_info["mean_quality_ratio"] = float(ratios.mean())

@@ -1,0 +1,53 @@
+"""E5 — Figure 7: partition quality over the transient run.
+
+The moving-peak Poisson problem is tracked for many time steps; after each
+adaptation the mesh is repartitioned by RSB and by PNR.  Figure 7 plots the
+number of shared vertices per step for several processor counts.
+
+Expected shape: although PNR is a local (incremental) heuristic, its
+shared-vertex series stays close to RSB's for the whole run — the quality
+does **not** deteriorate over time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _transient import transient_series
+from conftest import proc_counts
+from repro.experiments import format_series
+
+
+def run_all(plist):
+    return {p: transient_series(p) for p in plist}
+
+
+def test_fig7_transient_quality(benchmark, write_result):
+    plist = proc_counts(reduced=[4, 8], paper=[4, 8, 16, 32])
+    all_series = benchmark.pedantic(run_all, args=(plist,), rounds=1, iterations=1)
+    blocks = []
+    for p in plist:
+        blocks.append(
+            format_series(
+                all_series[p],
+                "shared_vertices",
+                every=2,
+                title=f"Figure 7 (p={p}): shared vertices per step",
+            )
+        )
+    write_result("fig7_transient_quality", "\n\n".join(blocks))
+
+    for p in plist:
+        series = all_series[p]
+        sv_rsb = np.array([r["shared_vertices"] for r in series["RSB"]])
+        sv_pnr = np.array([r["shared_vertices"] for r in series["PNR"]])
+        ratio = sv_pnr / np.maximum(sv_rsb, 1)
+        assert ratio.mean() < 1.6, f"p={p}: PNR quality {ratio.mean():.2f}x RSB"
+        # no deterioration over time: the last-third mean ratio is not much
+        # worse than the first-third mean ratio
+        k = len(ratio) // 3
+        assert ratio[-k:].mean() < ratio[:k].mean() * 1.5 + 0.3, (
+            f"p={p}: PNR quality deteriorates over time "
+            f"({ratio[:k].mean():.2f} -> {ratio[-k:].mean():.2f})"
+        )
+        benchmark.extra_info[f"quality_ratio_p{p}"] = float(ratio.mean())

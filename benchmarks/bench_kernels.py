@@ -1,0 +1,93 @@
+"""Kernel microbenchmarks: throughput of the library's hot paths.
+
+Unlike the experiment benches (one pedantic round regenerating a paper
+table), these measure the kernels with proper multi-round timing so
+regressions in the refinement, dual-graph, partitioning, KL and assembly
+code paths are visible — the "no optimization without measuring" rule the
+project follows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fem import CornerLaplace2D, interpolation_error_indicator
+from repro.fem.p1 import stiffness_matrix
+from repro.graph import fiedler_vector
+from repro.mesh import AdaptiveMesh, coarse_dual_graph, fine_dual_graph
+from repro.mesh.metrics import shared_vertex_count
+from repro.partition import KLConfig, kl_refine, multilevel_partition
+
+
+@pytest.fixture(scope="module")
+def adapted():
+    am = AdaptiveMesh.unit_square(20)
+    prob = CornerLaplace2D()
+    from repro.fem import mark_top_fraction
+
+    for _ in range(3):
+        ind = interpolation_error_indicator(am, prob.exact)
+        am.refine(mark_top_fraction(am, ind, 0.2))
+    return am
+
+
+def test_kernel_refinement(benchmark):
+    """Uniform bisection throughput (elements created per call)."""
+
+    def run():
+        am = AdaptiveMesh.unit_square(12)
+        am.uniform_refine(2)
+        return am.n_leaves
+
+    leaves = benchmark(run)
+    assert leaves == 288 * 4
+
+
+def test_kernel_coarse_dual_graph(benchmark, adapted):
+    g = benchmark(coarse_dual_graph, adapted.mesh)
+    assert g.vwts.sum() == adapted.n_leaves
+
+
+def test_kernel_fine_dual_graph(benchmark, adapted):
+    g, _ = benchmark(fine_dual_graph, adapted.mesh)
+    assert g.n_vertices == adapted.n_leaves
+
+
+def test_kernel_shared_vertices(benchmark, adapted):
+    a = (np.arange(adapted.n_leaves) % 8).astype(np.int64)
+    sv = benchmark(shared_vertex_count, adapted.mesh, a)
+    assert sv > 0
+
+
+def test_kernel_fiedler(benchmark, adapted):
+    g = coarse_dual_graph(adapted.mesh)
+    fv = benchmark(fiedler_vector, g, 0)
+    assert np.all(np.isfinite(fv))
+
+
+def test_kernel_multilevel_partition(benchmark, adapted):
+    g = coarse_dual_graph(adapted.mesh)
+    a = benchmark(multilevel_partition, g, 8, 0)
+    assert len(np.unique(a)) == 8
+
+
+def test_kernel_kl_refine(benchmark, adapted):
+    g = coarse_dual_graph(adapted.mesh)
+    rng = np.random.default_rng(0)
+    a0 = rng.integers(0, 8, g.n_vertices)
+    cfg = KLConfig(beta=0.8, balance_tol=0.05, max_passes=2)
+    a = benchmark(kl_refine, g, a0, 8, None, cfg)
+    assert a.shape == a0.shape
+
+
+def test_kernel_stiffness_assembly(benchmark, adapted):
+    mesh = adapted.mesh
+    A = benchmark(stiffness_matrix, mesh.verts, mesh.leaf_cells())
+    assert A.shape[0] == mesh.n_verts
+
+
+def test_kernel_error_indicator(benchmark, adapted):
+    prob = CornerLaplace2D()
+    ind = benchmark(interpolation_error_indicator, adapted, prob.exact)
+    assert ind.shape[0] == adapted.n_leaves

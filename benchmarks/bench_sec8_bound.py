@@ -1,0 +1,101 @@
+"""E7 — Section 8: the migration lower-bound model vs measured PNR cost.
+
+Model: a balanced partition receives ``m`` new elements on one processor
+``P_o``; rebalancing by moves along the processor-connectivity graph
+``H^t`` costs at least ``Σ_j d_{o,j}·(m/p)``, which for a ``√p × √p``
+mesh-shaped ``H^t`` with a corner-loaded processor is bounded by
+``2·(√p−1)·(p−1)·m/p ≤ 2√p·m`` — *independent of mesh size*.
+
+The bench creates exactly that scenario (refine every leaf of one
+processor's subdomain), lets PNR rebalance, and compares the measured
+migration — both raw element count and the hop-routed cost on ``H^t`` —
+against the model quantities, at two mesh sizes to exercise the
+"independent of the mesh size" claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import paper_scale
+from repro.core import PNR
+from repro.core.bounds import (
+    mesh_migration_bound,
+    migration_lower_bound,
+    routed_migration_cost,
+)
+from repro.experiments import format_table
+from repro.mesh import AdaptiveMesh, coarse_dual_graph, processor_graph
+from repro.partition import graph_imbalance, graph_migration
+
+
+def run_bound_experiment(n: int, p: int, extra_levels: int):
+    amesh = AdaptiveMesh.unit_square(n)
+    for _ in range(extra_levels):
+        # uniform growth so both sizes share the scenario's shape
+        amesh.uniform_refine(1)
+    pnr = PNR(seed=3)
+    current = pnr.initial_partition(amesh, p)
+    fine_before = pnr.induced_fine(amesh, current)
+    h_before = processor_graph(amesh.mesh, fine_before, p)
+
+    # overload one processor: refine all its leaves (m ~ its load)
+    n_before = amesh.n_leaves
+    overloaded = 0
+    leaf_ids = amesh.leaf_ids()
+    mine = leaf_ids[fine_before == overloaded]
+    amesh.refine(mine)
+    m = amesh.n_leaves - n_before
+
+    graph = coarse_dual_graph(amesh.mesh)
+    new = pnr.repartition(amesh, p, current)
+    moved = graph_migration(graph, current, new)
+    routed = routed_migration_cost(h_before, current, new, graph.vwts)
+    lower = migration_lower_bound(h_before, overloaded, m)
+    model = mesh_migration_bound(p, m)
+    return {
+        "leaves": amesh.n_leaves,
+        "m": m,
+        "moved": moved,
+        "routed": routed,
+        "lower_bound": lower,
+        "mesh_bound": model,
+        "imbalance_after": graph_imbalance(graph, new, p),
+    }
+
+
+def test_sec8_bound(benchmark, write_result):
+    p = 16
+    sizes = [(16, 1), (23, 1)] if not paper_scale() else [(23, 1), (23, 2), (32, 2)]
+
+    def run_all():
+        return [run_bound_experiment(n, p, lv) for n, lv in sizes]
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        (
+            r["leaves"], r["m"], r["moved"], round(r["routed"], 1),
+            round(r["lower_bound"], 1), round(r["mesh_bound"], 1),
+            round(r["moved"] / r["m"], 2), round(r["imbalance_after"], 3),
+        )
+        for r in results
+    ]
+    write_result(
+        "sec8_bound",
+        format_table(
+            ["leaves", "m new", "moved", "routed cost", "lower bound",
+             "2(sqrt(p)-1)(p-1)m/p", "moved/m", "imb after"],
+            rows,
+            title=f"Section 8: migration vs model bounds (p={p}, overload one processor)",
+        ),
+    )
+    for r in results:
+        # PNR moves each element once (point-to-point), so its element count
+        # is on the order of the surplus m, far below the hop-routed bound.
+        assert r["moved"] <= 3.0 * r["m"], f"moved {r['moved']} >> m={r['m']}"
+        assert r["routed"] <= 3.0 * r["mesh_bound"], "routed cost above model scale"
+        assert r["imbalance_after"] < 0.35, "rebalancing failed"
+    # mesh-size independence: moved/m ratio stays flat as the mesh grows
+    ratios = [r["moved"] / r["m"] for r in results]
+    assert max(ratios) < 3.0 * max(min(ratios), 0.1)
+    benchmark.extra_info["moved_over_m"] = ratios

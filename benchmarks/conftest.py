@@ -1,0 +1,45 @@
+"""Shared machinery of the reproduction benches.
+
+Every bench (one per paper table/figure, see DESIGN.md's experiment index)
+runs its experiment once under ``benchmark.pedantic``, writes the
+paper-style table to ``results/<name>.txt``, and asserts the *qualitative
+shape* of the paper's result (who wins, by roughly what factor) — absolute
+numbers differ because the meshes default to reduced scale.
+
+Set ``REPRO_PAPER_SCALE=1`` for paper-scale meshes and processor counts
+(minutes instead of seconds).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def paper_scale() -> bool:
+    return os.environ.get("REPRO_PAPER_SCALE", "0") not in ("0", "", "false")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def write_result(results_dir):
+    def _write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _write
+
+
+def proc_counts(reduced, paper):
+    """Processor-count list for the current scale."""
+    return paper if paper_scale() else reduced

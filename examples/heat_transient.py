@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Transient heat flow on an adaptive mesh with PNR load balancing.
+
+Integrates the heat equation with backward Euler while the mesh adapts to
+the moving solution front, carrying the discrete solution across each
+adaptation (exact P1 transfer over bisection meshes) and rebalancing with a
+:class:`~repro.core.session.RepartitioningSession` whenever the imbalance
+trigger fires — the paper's full use case in one script.
+
+Run:  python examples/heat_transient.py
+"""
+
+import numpy as np
+
+from repro.core import PNR, RepartitioningSession
+from repro.experiments import format_table
+from repro.fem import interpolation_error_indicator, mark_over_threshold, mark_under_threshold
+from repro.fem.timestepping import HeatEquationSolver
+from repro.mesh import AdaptiveMesh
+
+P = 4
+STEPS = 12
+DT = 0.01
+
+# a hot spot that drifts across the square with the ambient flow
+def hot_spot(t):
+    cx, cy = -0.5 + 1.2 * t, -0.5 + 1.2 * t
+    return lambda p: np.exp(-30 * ((p[:, 0] - cx) ** 2 + (p[:, 1] - cy) ** 2))
+
+
+amesh = AdaptiveMesh.unit_square(12)
+solver = HeatEquationSolver(amesh, source=lambda p, t: 8.0 * hot_spot(t)(p))
+session = RepartitioningSession(amesh, P, pnr=PNR(seed=1), imbalance_trigger=0.08)
+
+u = solver.initial_condition(lambda p: np.zeros(len(p)))
+rows = []
+for k in range(STEPS):
+    t = (k + 1) * DT
+    u = solver.step(u, t, DT)
+
+    # adapt to the *discrete* solution's spatial variation via the frozen
+    # source profile (the quantity that moves), then transfer u
+    ind = interpolation_error_indicator(amesh, hot_spot(t))
+    refine = mark_over_threshold(amesh, ind, 2e-3)
+    coarsen = mark_under_threshold(amesh, ind, 2e-4)
+    if refine.size:
+        amesh.refine(refine)
+    if coarsen.size:
+        amesh.coarsen(coarsen)
+    u = solver.transfer(u)
+
+    rec = session.round()
+    rows.append(
+        (k, f"{t:.2f}", amesh.n_leaves, f"{np.abs(u).max():.3f}",
+         "yes" if rec["triggered"] else "-", rec["moved"],
+         f"{rec['imbalance_after']:.3f}")
+    )
+
+print(
+    format_table(
+        ["step", "t", "leaves", "max|u|", "rebalanced", "moved", "imbalance"],
+        rows,
+        title=f"Heat equation with adaptive mesh + PNR sessions (p={P})",
+    )
+)
+s = session.summary()
+print(
+    f"\nsession: {s['triggered_rounds']}/{s['rounds']} rounds rebalanced, "
+    f"mean movement {s['mean_moved_frac']:.1%} of the mesh"
+)

@@ -1,0 +1,6 @@
+"""Thin setup.py shim so editable installs work offline (the environment has
+setuptools but no `wheel`, which PEP 517 editable builds require)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""Section 8: bounding the migration cost.
+
+Under the paper's assumptions — a balanced partition Π^{t-1}, ``m`` new
+elements created on a single processor ``P_o``, rebalancing restricted to
+moves between *adjacent* processors (edges of the processor-connectivity
+graph ``H^t``) — processor ``P_o`` must ship ``m/p`` elements to every other
+processor ``P_j``, paying hop distance ``d_{o,j}``:
+
+    ``C_migrate = Σ_{j≠o} d_{o,j} · (m/p)``
+
+For a ``√p × √p`` mesh-shaped ``H^t`` with ``P_o`` in a corner this is at
+most ``2·(√p−1)·(p−1)·m/p ≤ 2√p·m`` — independent of the mesh size.  PNR's
+measured migration is compared against these model quantities in the E7
+bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def migration_lower_bound(hgraph: sp.csr_matrix, overloaded: int, m: float) -> float:
+    """``Σ_{j≠o} d_{o,j}·(m/p)`` on an arbitrary processor graph ``H^t``.
+
+    ``m`` is the load surplus created on processor ``overloaded``.  Raises
+    if some processor is unreachable (disconnected ``H^t`` cannot be
+    rebalanced by adjacent moves at all).
+    """
+    p = hgraph.shape[0]
+    dist = sp.csgraph.shortest_path(
+        hgraph.astype(float), method="D", unweighted=True, indices=overloaded
+    )
+    if not np.all(np.isfinite(dist)):
+        raise ValueError("processor graph is disconnected")
+    return float(dist.sum() * (m / p))
+
+
+def mesh_migration_bound(p: int, m: float) -> float:
+    """The closed-form bound ``2·(√p−1)·(p−1)·m/p`` for a corner-loaded
+    ``√p × √p`` processor mesh (≤ ``2√p·m``)."""
+    sq = np.sqrt(p)
+    return float(2.0 * (sq - 1.0) * (p - 1.0) * m / p)
+
+
+def grid_processor_graph(side: int) -> sp.csr_matrix:
+    """A ``side × side`` 4-neighbor mesh — the model ``H^t`` of the paper's
+    example."""
+    p = side * side
+    rows = []
+    cols = []
+    for i in range(side):
+        for j in range(side):
+            v = i * side + j
+            if i + 1 < side:
+                rows += [v, v + side]
+                cols += [v + side, v]
+            if j + 1 < side:
+                rows += [v, v + 1]
+                cols += [v + 1, v]
+    mat = sp.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(p, p))
+    mat.sum_duplicates()
+    mat.data[:] = 1.0
+    return mat
+
+
+def routed_migration_cost(
+    hgraph: sp.csr_matrix, old_assignment, new_assignment, weights
+) -> float:
+    """Migration cost when every moved element pays the ``H^t`` hop distance
+    between its old and new processor (the Section 8 cost model applied to
+    an actual repartition)."""
+    old = np.asarray(old_assignment, dtype=np.int64)
+    new = np.asarray(new_assignment, dtype=np.int64)
+    weights = np.asarray(weights, dtype=float)
+    moved = old != new
+    if not np.any(moved):
+        return 0.0
+    dist = sp.csgraph.shortest_path(hgraph.astype(float), unweighted=True)
+    return float((weights[moved] * dist[old[moved], new[moved]]).sum())

@@ -1,0 +1,106 @@
+"""Repartitioning session: the bookkeeping of a live adaptive computation.
+
+A :class:`RepartitioningSession` owns the current coarse assignment of an
+adaptive mesh and wraps :class:`~repro.core.pnr.PNR` with the statistics a
+long-running PARED computation cares about: per-round migration/cut/balance
+series, cumulative totals, the Equation-1 objective, and rebalance
+triggering (repartition only when the measured imbalance exceeds the
+user-supplied threshold, as PARED does after each adaptation phase).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cost import repartition_cost
+from repro.core.pnr import PNR
+from repro.mesh.dualgraph import coarse_dual_graph, leaf_assignment_from_roots
+from repro.mesh.metrics import cut_size, shared_vertex_count
+from repro.partition.metrics import graph_imbalance, graph_migration
+
+
+class RepartitioningSession:
+    """Owns the evolving partition of one adaptive mesh.
+
+    Parameters
+    ----------
+    amesh:
+        The adaptive mesh (adapted externally between rounds).
+    p:
+        Number of processors.
+    pnr:
+        The repartitioner (default: paper parameters).
+    imbalance_trigger:
+        Repartition only when imbalance exceeds this; otherwise the round
+        records a no-op (the paper: "PARED determines if a user-supplied
+        workload imbalance exists ... If so, it invokes the procedure").
+    """
+
+    def __init__(self, amesh, p: int, pnr: PNR = None, imbalance_trigger: float = 0.05):
+        self.amesh = amesh
+        self.p = p
+        self.pnr = pnr or PNR()
+        self.imbalance_trigger = imbalance_trigger
+        self.coarse = self.pnr.initial_partition(amesh, p)
+        self.history: list = []
+        self.total_moved = 0.0
+        self.rounds = 0
+
+    @property
+    def fine(self) -> np.ndarray:
+        """Current induced leaf assignment."""
+        return leaf_assignment_from_roots(self.amesh.mesh, self.coarse)
+
+    def imbalance(self) -> float:
+        graph = coarse_dual_graph(self.amesh.mesh)
+        return graph_imbalance(graph, self.coarse, self.p)
+
+    def round(self) -> dict:
+        """One repartitioning round after external adaptation.
+
+        Returns the round record (and appends it to :attr:`history`).
+        """
+        graph = coarse_dual_graph(self.amesh.mesh)
+        imb_before = graph_imbalance(graph, self.coarse, self.p)
+        triggered = imb_before > self.imbalance_trigger
+        if triggered:
+            new = self.pnr.repartition(self.amesh, self.p, self.coarse)
+        else:
+            new = self.coarse
+        moved = graph_migration(graph, self.coarse, new)
+        cost = repartition_cost(
+            graph, self.coarse, new, self.p, self.pnr.alpha, self.pnr.beta
+        )
+        fine = leaf_assignment_from_roots(self.amesh.mesh, new)
+        record = {
+            "round": self.rounds,
+            "leaves": self.amesh.n_leaves,
+            "triggered": triggered,
+            "imbalance_before": imb_before,
+            "imbalance_after": graph_imbalance(graph, new, self.p),
+            "moved": moved,
+            "moved_frac": moved / max(self.amesh.n_leaves, 1),
+            "cut": cut_size(self.amesh.mesh, fine),
+            "shared_vertices": shared_vertex_count(self.amesh.mesh, fine),
+            "objective": cost.total,
+        }
+        self.coarse = np.asarray(new)
+        self.total_moved += moved
+        self.rounds += 1
+        self.history.append(record)
+        return record
+
+    def summary(self) -> dict:
+        """Cumulative statistics over all rounds."""
+        if not self.history:
+            return {"rounds": 0, "total_moved": 0.0}
+        moved_frac = [r["moved_frac"] for r in self.history]
+        return {
+            "rounds": self.rounds,
+            "total_moved": self.total_moved,
+            "mean_moved_frac": float(np.mean(moved_frac)),
+            "max_moved_frac": float(np.max(moved_frac)),
+            "triggered_rounds": int(sum(r["triggered"] for r in self.history)),
+            "final_cut": self.history[-1]["cut"],
+            "final_imbalance": self.history[-1]["imbalance_after"],
+        }

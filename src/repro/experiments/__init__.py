@@ -1,0 +1,34 @@
+"""Experiment drivers reproducing the paper's evaluation.
+
+* :mod:`repro.experiments.laplace` — the Section 6 refinement ladders
+  (corner-singular Laplace problem, 2-D and 3-D) behind Figures 3, 4, 5.
+* :mod:`repro.experiments.transient` — the Section 10 moving-peak run
+  behind Figures 7 and 8.
+* :mod:`repro.experiments.tracking` — element-level assignment inheritance
+  across adaptation (children live where their parent lived), used to
+  measure migration for partitioners that do not respect tree boundaries.
+* :mod:`repro.experiments.tables` — plain-text table/series formatting in
+  the paper's layout.
+
+Scale: all drivers default to a reduced mesh size so the benches run in
+seconds; set ``REPRO_PAPER_SCALE=1`` (or pass ``paper_scale=True``) for the
+paper's mesh sizes.
+"""
+
+from repro.experiments.laplace import laplace_ladder, ladder_pairs, default_scale
+from repro.experiments.paper_data import paper_consistency_report
+from repro.experiments.tracking import AssignmentTracker
+from repro.experiments.transient import transient_mesh_sequence, TransientRunner
+from repro.experiments.tables import format_table, format_series
+
+__all__ = [
+    "laplace_ladder",
+    "ladder_pairs",
+    "default_scale",
+    "AssignmentTracker",
+    "transient_mesh_sequence",
+    "TransientRunner",
+    "format_table",
+    "format_series",
+    "paper_consistency_report",
+]

@@ -1,0 +1,142 @@
+"""Section 6 workloads: adaptive refinement ladders for the corner-singular
+Laplace problems.
+
+The paper starts from quasi-uniform meshes of 12,498 triangles / 9,540 tets
+and refines where the L∞ error exceeds a tolerance, eight levels in 2-D and
+five in 3-D, growing to 135,371 / 70,185 elements.  ``laplace_ladder``
+reproduces that protocol: at each level it marks every leaf whose
+interpolation-error indicator exceeds ``tol`` and bisects, yielding the mesh
+after each level.
+
+Reduced scale (default): a 28×28 / 7³ initial grid with the same marking
+rule; ``REPRO_PAPER_SCALE=1`` or ``paper_scale=True`` switches to a 79×79
+grid (12,482 triangles ≈ the paper's 12,498) and a 12³ grid (10,368 tets ≈
+9,540).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.fem.estimate import (
+    interpolation_error_indicator,
+    mark_over_threshold,
+    mark_top_fraction,
+)
+from repro.fem.problems import CornerLaplace2D, CornerLaplace3D
+from repro.mesh.adapt import AdaptiveMesh
+
+
+def default_scale() -> bool:
+    """True when the environment requests paper-scale meshes."""
+    return os.environ.get("REPRO_PAPER_SCALE", "0") not in ("0", "", "false")
+
+
+_SCALES = {
+    # dim -> (reduced grid n, paper grid n, reduced levels, paper levels, tol)
+    2: {"reduced_n": 28, "paper_n": 79, "reduced_levels": 6, "paper_levels": 8},
+    3: {"reduced_n": 7, "paper_n": 12, "reduced_levels": 4, "paper_levels": 5},
+}
+
+
+def laplace_ladder(
+    dim: int = 2,
+    paper_scale: bool = None,
+    levels: int = None,
+    n: int = None,
+    tol: float = None,
+    fraction: float = 0.2,
+):
+    """Generator of the Section 6 refinement ladder.
+
+    Yields ``(level, amesh)`` with ``level = 0`` for the initial mesh, then
+    after each refinement level.  The mesh object is reused (snapshot
+    metrics before advancing).
+
+    Marking: by default the top ``fraction`` of leaves by interpolation-
+    error indicator is marked each level — this reproduces the *growth
+    profile* of the paper's ladder (12,498 → 135,371 over 8 levels ≈ 1.35×
+    per level including conformality propagation) independent of the
+    absolute error scale, which depends on the initial grid resolution.
+    Passing ``tol`` switches to the paper's literal rule (mark every leaf
+    whose L∞ indicator exceeds ``tol``; the ladder then terminates when the
+    error criterion is met).
+    """
+    if dim not in _SCALES:
+        raise ValueError("dim must be 2 or 3")
+    if paper_scale is None:
+        paper_scale = default_scale()
+    conf = _SCALES[dim]
+    if n is None:
+        n = conf["paper_n"] if paper_scale else conf["reduced_n"]
+    if levels is None:
+        levels = conf["paper_levels"] if paper_scale else conf["reduced_levels"]
+    if dim == 2:
+        amesh = AdaptiveMesh.unit_square(n)
+        problem = CornerLaplace2D()
+    else:
+        amesh = AdaptiveMesh.unit_cube(n)
+        problem = CornerLaplace3D()
+
+    yield 0, amesh
+    for level in range(1, levels + 1):
+        ind = interpolation_error_indicator(amesh, problem.exact)
+        if tol is not None:
+            marked = mark_over_threshold(amesh, ind, tol)
+        else:
+            marked = mark_top_fraction(amesh, ind, fraction)
+        if marked.size == 0:
+            break
+        amesh.refine(marked)
+        yield level, amesh
+
+
+def ladder_pairs(
+    dim: int = 2,
+    paper_scale: bool = None,
+    n_measure: int = None,
+    growth_fraction: float = 0.2,
+    growth_rounds: int = 3,
+    small_fraction: float = 0.03,
+    n: int = None,
+):
+    """The Figure 4/5 protocol: a series of meshes of (roughly doubling)
+    increasing size; at each size, a *small* refinement between two
+    partitioning rounds (the paper's pairs, e.g. 5094 → 5269).
+
+    Yields ``("before", size_index, amesh)`` — caller partitions
+    ``M^{t-1}`` — then, after a small corner-concentrated refinement,
+    ``("after", size_index, amesh)`` — caller repartitions ``M^t`` and
+    measures cut/migration.  Between measurements the mesh grows by
+    ``growth_rounds`` top-``growth_fraction`` refinements (≈ doubling, as in
+    Figure 4's size ladder); a ``("grow", size_index, amesh)`` event follows
+    each growth round so incremental methods can repartition after *every*
+    adaptation, as the paper does ("after each refinement, a new partition
+    of the adapted mesh was computed").
+    """
+    if paper_scale is None:
+        paper_scale = default_scale()
+    conf = _SCALES[dim]
+    if n is None:
+        n = conf["paper_n"] if paper_scale else conf["reduced_n"]
+    if n_measure is None:
+        n_measure = 5 if paper_scale else 3
+    if dim == 2:
+        amesh = AdaptiveMesh.unit_square(n)
+        problem = CornerLaplace2D()
+    else:
+        amesh = AdaptiveMesh.unit_cube(n)
+        problem = CornerLaplace3D()
+
+    def grow(fraction):
+        ind = interpolation_error_indicator(amesh, problem.exact)
+        amesh.refine(mark_top_fraction(amesh, ind, fraction))
+
+    for size_index in range(n_measure):
+        yield "before", size_index, amesh
+        grow(small_fraction)
+        yield "after", size_index, amesh
+        if size_index != n_measure - 1:
+            for _ in range(growth_rounds):
+                grow(growth_fraction)
+                yield "grow", size_index, amesh

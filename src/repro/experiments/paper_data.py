@@ -1,0 +1,173 @@
+"""The paper's published numbers, transcribed.
+
+Figures 3, 4 and 5 of Castaños & Savage (IPPS 2000), as printed.  Having
+them as data lets the test-suite check the *relations* the reproduction
+must preserve against the paper's own tables (e.g. PNR/MLKL quality ratio
+≈ 1; PNR migration a small, mesh-size-independent fraction; permuted RSB
+still tens of percent), and lets EXPERIMENTS.md compare measured outputs
+programmatically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: processor counts of Figure 3's columns
+FIG3_PROCS = (4, 8, 16, 32, 64, 128)
+
+#: Figure 3, 2-D table: level -> shared vertices for Multilevel-KL and PNR
+FIG3_2D_MLKL = {
+    0: (179, 333, 525, 792, 1141, 1614),
+    1: (202, 335, 534, 801, 1167, 1702),
+    2: (263, 445, 674, 1023, 1500, 2118),
+    3: (270, 473, 775, 1194, 1748, 2456),
+    4: (350, 571, 895, 1400, 2080, 2906),
+    5: (388, 642, 1061, 1595, 2324, 3341),
+    6: (448, 749, 1202, 1829, 2706, 3945),
+    7: (493, 830, 1357, 2111, 3112, 4503),
+    8: (554, 950, 1547, 2337, 3544, 5151),
+}
+
+FIG3_2D_PNR = {
+    0: (157, 297, 465, 739, 1043, 1523),
+    1: (197, 343, 521, 773, 1164, 1633),
+    2: (245, 437, 675, 996, 1458, 2076),
+    3: (305, 471, 745, 1120, 1609, 2316),
+    4: (363, 571, 932, 1352, 1995, 2809),
+    5: (350, 624, 980, 1495, 2179, 3134),
+    6: (444, 733, 1175, 1775, 2620, 3699),
+    7: (563, 808, 1351, 2048, 2971, 4315),
+    8: (539, 994, 1557, 2360, 3595, 5152),
+}
+
+#: Figure 3, 3-D table
+FIG3_3D_MLKL = {
+    0: (334, 489, 674, 935, 1174, 1437),
+    1: (321, 478, 729, 975, 1230, 1495),
+    2: (366, 559, 785, 1046, 1350, 1667),
+    3: (398, 681, 979, 1349, 1717, 2120),
+    4: (631, 1020, 1453, 1893, 2441, 3024),
+    5: (1243, 1742, 2561, 3380, 4374, 5446),
+}
+
+FIG3_3D_PNR = {
+    0: (372, 536, 737, 931, 1193, 1458),
+    1: (382, 517, 682, 979, 1226, 1483),
+    2: (364, 572, 819, 1088, 1406, 1695),
+    3: (406, 698, 975, 1302, 1716, 2038),
+    4: (618, 999, 1481, 1935, 2410, 2761),
+    5: (1377, 1895, 2551, 3374, 4306, 5225),
+}
+
+#: Figures 4/5 rows:
+#: (p, elem_before, cut_before, elem_after, cut_after, mig_raw, mig_perm)
+FIG4_RSB = (
+    (4, 5094, 99, 5269, 95, 2627, 2627),
+    (8, 5094, 168, 5269, 159, 3341, 831),
+    (16, 5094, 273, 5269, 274, 4458, 1551),
+    (32, 5094, 421, 5269, 421, 5046, 2270),
+    (64, 5094, 615, 5269, 629, 5129, 2354),
+    (4, 11110, 137, 11411, 152, 9192, 2010),
+    (8, 11110, 249, 11411, 250, 9696, 3383),
+    (16, 11110, 405, 11411, 410, 10444, 4747),
+    (32, 11110, 633, 11411, 647, 11061, 5684),
+    (64, 11110, 926, 11411, 960, 11230, 5284),
+    (4, 23749, 311, 23902, 291, 16477, 14519),
+    (8, 23749, 488, 23902, 480, 19182, 13117),
+    (16, 23749, 700, 23902, 670, 22620, 11104),
+    (32, 23749, 1000, 23902, 980, 23441, 11374),
+    (64, 23749, 1463, 23902, 1425, 23530, 11711),
+    (4, 49915, 331, 50072, 410, 35601, 23152),
+    (8, 49915, 569, 50072, 680, 49190, 18507),
+    (16, 49915, 920, 50072, 977, 49264, 22147),
+    (32, 49915, 1408, 50072, 1431, 49776, 21972),
+    (64, 49915, 2067, 50072, 2159, 50050, 23639),
+    (4, 103585, 788, 103786, 863, 38433, 38433),
+    (8, 103585, 1121, 103786, 1193, 77099, 43272),
+    (16, 103585, 1690, 103786, 1728, 93892, 51125),
+    (32, 103585, 2380, 103786, 2403, 99397, 50264),
+    (64, 103585, 3297, 103786, 3310, 102277, 50278),
+)
+
+FIG5_PNR = (
+    (4, 5094, 89, 5269, 91, 132, 132),
+    (8, 5094, 154, 5269, 162, 280, 280),
+    (16, 5094, 261, 5269, 290, 430, 430),
+    (32, 5094, 394, 5269, 442, 483, 483),
+    (64, 5094, 591, 5269, 642, 681, 681),
+    (4, 11110, 151, 11411, 151, 226, 226),
+    (8, 11110, 260, 11411, 262, 489, 489),
+    (16, 11110, 400, 11411, 415, 773, 773),
+    (32, 11110, 601, 11411, 659, 967, 967),
+    (64, 11110, 866, 11411, 935, 1146, 1146),
+    (4, 23749, 197, 23902, 199, 115, 115),
+    (8, 23749, 347, 23902, 352, 245, 245),
+    (16, 23749, 564, 23902, 578, 332, 332),
+    (32, 23749, 883, 23902, 932, 415, 415),
+    (64, 23749, 1302, 23902, 1351, 512, 512),
+    (4, 49915, 291, 50072, 289, 156, 156),
+    (8, 49915, 547, 50072, 549, 251, 251),
+    (16, 49915, 885, 50072, 899, 373, 373),
+    (32, 49915, 1346, 50072, 1368, 531, 531),
+    (64, 49915, 1995, 50072, 2038, 581, 581),
+    (4, 103585, 426, 103786, 429, 151, 151),
+    (8, 103585, 802, 103786, 789, 321, 321),
+    (16, 103585, 1314, 103786, 1319, 469, 469),
+    (32, 103585, 1970, 103786, 1971, 623, 623),
+    (64, 103585, 2982, 103786, 3042, 731, 731),
+)
+
+#: Section 10's prose aggregates
+TRANSIENT_AGGREGATES = {
+    "rsb_moved_range": (0.50, 1.00),
+    "rsb_perm_peak": 0.46,
+    "rsb_perm_mean_p32": 0.21,
+    "pnr_mean_p4": 0.012,
+    "pnr_mean_p32": 0.055,
+}
+
+
+def fig3_quality_ratio(dim: int = 2) -> np.ndarray:
+    """PNR / Multilevel-KL shared-vertex ratios, flattened over the
+    paper's Figure 3 table (dim 2 or 3)."""
+    ml = FIG3_2D_MLKL if dim == 2 else FIG3_3D_MLKL
+    pn = FIG3_2D_PNR if dim == 2 else FIG3_3D_PNR
+    ratios = []
+    for level, row in ml.items():
+        for a, b in zip(pn[level], row):
+            ratios.append(a / b)
+    return np.asarray(ratios)
+
+
+def fig_migration_fraction(rows) -> np.ndarray:
+    """Raw migration as a fraction of the post-refinement mesh, per row of
+    a Figure 4/5 table."""
+    return np.asarray([r[5] / r[3] for r in rows])
+
+
+def fig_perm_migration_fraction(rows) -> np.ndarray:
+    return np.asarray([r[6] / r[3] for r in rows])
+
+
+def paper_consistency_report() -> dict:
+    """The paper's own numbers, reduced to the relations the reproduction
+    is asserted against (used by tests and EXPERIMENTS.md)."""
+    return {
+        "fig3_2d_ratio_mean": float(fig3_quality_ratio(2).mean()),
+        "fig3_3d_ratio_mean": float(fig3_quality_ratio(3).mean()),
+        "fig4_raw_fraction_range": (
+            float(fig_migration_fraction(FIG4_RSB).min()),
+            float(fig_migration_fraction(FIG4_RSB).max()),
+        ),
+        "fig4_perm_fraction_range": (
+            float(fig_perm_migration_fraction(FIG4_RSB).min()),
+            float(fig_perm_migration_fraction(FIG4_RSB).max()),
+        ),
+        "fig5_fraction_range": (
+            float(fig_migration_fraction(FIG5_PNR).min()),
+            float(fig_migration_fraction(FIG5_PNR).max()),
+        ),
+        "fig5_perm_equals_raw": bool(
+            all(r[5] == r[6] for r in FIG5_PNR)
+        ),
+    }

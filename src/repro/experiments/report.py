@@ -1,0 +1,83 @@
+"""Reproduction report generator.
+
+Collects the tables written by the benches (``results/*.txt``) together
+with the paper's transcribed numbers into one markdown document — the
+artifact a reviewer reads to compare paper vs. measured at a glance.
+Exposed via ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.paper_data import paper_consistency_report
+
+#: result file -> (section title, the paper claim it reproduces)
+_SECTIONS = (
+    ("fig3_quality_2d", "Figure 3 (2-D): shared vertices, Multilevel-KL vs PNR",
+     "PNR's quality tracks Multilevel-KL's at every level and p."),
+    ("fig3_quality_3d", "Figure 3 (3-D)",
+     "Same in three dimensions."),
+    ("fig4_rsb_migration", "Figure 4: repartitioning with RSB",
+     "Raw RSB moves ~50-100% of the mesh; permutation leaves tens of percent."),
+    ("fig5_pnr_migration", "Figure 5: repartitioning with PNR",
+     "A few percent moved, flat in mesh size; permutation gains nothing."),
+    ("fig45_3d", "3-D repartitioning (untabulated claim)",
+     "'Similar results are obtained for 3D meshes.'"),
+    ("fig4_mlkl_migration", "Multilevel-KL baseline (untabulated claim)",
+     "'The results for Multilevel-KL are similar.'"),
+    ("fig7_transient_quality", "Figure 7: transient quality",
+     "PNR's cut does not deteriorate over 100 steps."),
+    ("fig8_transient_migration", "Figure 8: transient migration",
+     "RSB 50-100%/step; permuted RSB spiky; PNR small and smooth."),
+    ("sec8_bound", "Section 8: migration bound",
+     "Measured movement near the model bound; independent of mesh size."),
+    ("thm61_projection", "Theorem 6.1: projection",
+     "Cut expansion well under 9x; additive balance within (p-1)d^2."),
+    ("ablation_alpha_beta", "Ablation: alpha/beta sweep",
+     "alpha trades migration against cut; beta=0.8 reaches balance."),
+    ("ablation_design", "Ablation: design choices",
+     "Inheriting the coarsest assignment + constrained matching minimize migration."),
+    ("pared_system", "PARED system",
+     "Parallel refinement == serial; coordinator protocol traffic by phase."),
+    ("scaling", "Scaling",
+     "Repartitioning cost stays proportionate to the solve."),
+)
+
+
+def generate_report(results_dir, out_path=None) -> str:
+    """Assemble the markdown report; optionally write it to ``out_path``."""
+    results_dir = Path(results_dir)
+    lines = [
+        "# Reproduction report",
+        "",
+        "Generated from `results/*.txt` (run `pytest benchmarks/ "
+        "--benchmark-only` to refresh).",
+        "",
+        "## Paper-data relations",
+        "",
+    ]
+    for key, val in paper_consistency_report().items():
+        lines.append(f"* `{key}`: {val}")
+    lines.append("")
+    missing = []
+    for stem, title, claim in _SECTIONS:
+        path = results_dir / f"{stem}.txt"
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append(f"*Paper claim:* {claim}")
+        lines.append("")
+        if path.exists():
+            lines.append("```")
+            lines.append(path.read_text().rstrip())
+            lines.append("```")
+        else:
+            lines.append(f"_missing: {path.name} (bench not run yet)_")
+            missing.append(stem)
+        lines.append("")
+    if missing:
+        lines.append(f"_{len(missing)} sections missing results._")
+    text = "\n".join(lines)
+    if out_path is not None:
+        Path(out_path).write_text(text)
+    return text

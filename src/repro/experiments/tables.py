@@ -1,0 +1,57 @@
+"""Plain-text tables and series in the paper's layout, for benches and
+examples (and for EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title: str = "") -> str:
+    """Fixed-width table: ``headers`` is a list of column names, ``rows`` a
+    list of tuples (numbers are rendered compactly)."""
+
+    def cell(x):
+        if isinstance(x, float):
+            if x == int(x) and abs(x) < 1e12:
+                return str(int(x))
+            return f"{x:.3g}"
+        return str(x)
+
+    str_rows = [[cell(x) for x in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: dict, field: str, every: int = 1, title: str = "") -> str:
+    """Render one per-step field of a :class:`TransientRunner` result as
+    columns (step, then one column per method)."""
+    names = list(series)
+    steps = [rec["step"] for rec in series[names[0]]]
+    rows = []
+    for i, s in enumerate(steps):
+        if i % every:
+            continue
+        rows.append((s, *(series[name][i][field] for name in names)))
+    return format_table(["step", *names], rows, title=title)
+
+
+def summarize_series(series: dict, field: str) -> dict:
+    """Per-method mean/max/total of one field — the aggregates the paper
+    quotes in prose ("average movement of 21% for 32 processors")."""
+    out = {}
+    for name, recs in series.items():
+        vals = [rec[field] for rec in recs]
+        out[name] = {
+            "mean": sum(vals) / len(vals),
+            "max": max(vals),
+            "total": sum(vals),
+        }
+    return out

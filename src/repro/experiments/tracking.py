@@ -1,0 +1,87 @@
+"""Assignment inheritance across mesh adaptation.
+
+Between two partitioning rounds the leaf set changes: refined leaves are
+replaced by their children (which are *created on the processor owning the
+parent*), and coarsened children are replaced by their parent.  To measure
+``C_migrate`` for a partitioner, the new partition of ``M^t`` must be
+compared against where each leaf's data currently *is* — the inherited
+assignment.
+
+:class:`AssignmentTracker` keeps a persistent per-element record: after each
+partition it stamps the current leaves; after adaptation it derives the
+inherited assignment of the new leaf set by walking to the nearest stamped
+ancestor (covers refinement) and falling back to a stamped-descendant
+majority (covers coarsening, where the children — possibly on different
+processors for non-nested partitioners — hand the region back to their
+parent).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+
+class AssignmentTracker:
+    """Persistent element→processor record over a nested mesh's lifetime."""
+
+    def __init__(self, mesh):
+        self.mesh = getattr(mesh, "mesh", mesh)
+        self._record: dict = {}
+
+    def stamp(self, fine_assignment) -> None:
+        """Record the given assignment of the *current* leaves (call right
+        after partitioning/migration)."""
+        fine_assignment = np.asarray(fine_assignment)
+        leaf_ids = self.mesh.leaf_ids()
+        if fine_assignment.shape[0] != leaf_ids.shape[0]:
+            raise ValueError("assignment must align with current leaves")
+        for eid, s in zip(leaf_ids, fine_assignment):
+            self._record[int(eid)] = int(s)
+
+    def _from_descendants(self, eid: int):
+        forest = self.mesh.forest
+        votes = Counter()
+        stack = [eid]
+        while stack:
+            e = stack.pop()
+            if e in self._record:
+                votes[self._record[e]] += 1
+                continue
+            kids = forest.children(e)
+            if kids is not None:
+                stack.extend(kids)
+        if votes:
+            return votes.most_common(1)[0][0]
+        return None
+
+    def inherited(self) -> np.ndarray:
+        """Inherited assignment of the current leaves (where the data sits
+        now, before any new partition is applied)."""
+        forest = self.mesh.forest
+        leaf_ids = self.mesh.leaf_ids()
+        out = np.empty(leaf_ids.shape[0], dtype=np.int64)
+        for k, eid in enumerate(leaf_ids):
+            e = int(eid)
+            # nearest stamped ancestor-or-self
+            cur = e
+            found = None
+            while cur != -1:
+                if cur in self._record:
+                    found = self._record[cur]
+                    break
+                cur = forest.parent(cur)
+            if found is None:
+                found = self._from_descendants(e)
+            if found is None:
+                raise KeyError(f"element {e} has no assignment history")
+            out[k] = found
+        return out
+
+    def migration(self, new_fine_assignment) -> int:
+        """Leaf elements of the current mesh that must move to realize the
+        new partition."""
+        inh = self.inherited()
+        new = np.asarray(new_fine_assignment)
+        return int(np.count_nonzero(inh != new))

@@ -1,0 +1,126 @@
+"""Section 10 workload: tracking a moving disturbance.
+
+Poisson's equation with the moving-peak solution; 100 time steps with ``t``
+going from −0.5 to 0.5 move the peak along the diagonal from (0.5, 0.5) to
+(−0.5, −0.5).  Each step refines where the interpolation-error indicator of
+``u(·, t)`` is large and coarsens where it is small, then repartitions.
+
+:func:`transient_mesh_sequence` drives the *mesh* (which is independent of
+the partitioners); :class:`TransientRunner` replays the same sequence while
+maintaining per-partitioner state — current assignment, element-level
+tracker — and records, per step, the shared-vertex quality (Figure 7) and
+the elements moved (Figure 8).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.experiments.tracking import AssignmentTracker
+from repro.fem.estimate import (
+    interpolation_error_indicator,
+    mark_over_threshold,
+    mark_under_threshold,
+)
+from repro.fem.problems import MovingPeakPoisson2D
+from repro.mesh.adapt import AdaptiveMesh
+from repro.mesh.metrics import cut_size, shared_vertex_count, imbalance
+
+
+def transient_defaults(paper_scale: bool = None) -> dict:
+    if paper_scale is None:
+        paper_scale = os.environ.get("REPRO_PAPER_SCALE", "0") not in ("0", "", "false")
+    if paper_scale:
+        return {"n": 40, "steps": 100, "refine_tol": 2e-3, "coarsen_tol": 2e-4}
+    return {"n": 20, "steps": 50, "refine_tol": 3e-3, "coarsen_tol": 3e-4}
+
+
+def adapt_step(amesh: AdaptiveMesh, t: float, refine_tol: float, coarsen_tol: float):
+    """One transient adaptation: refine where the frozen-time indicator is
+    above ``refine_tol``, coarsen where below ``coarsen_tol``."""
+    prob = MovingPeakPoisson2D(t)
+    ind = interpolation_error_indicator(amesh, prob.exact)
+    refine = mark_over_threshold(amesh, ind, refine_tol)
+    if refine.size:
+        amesh.refine(refine)
+    ind = interpolation_error_indicator(amesh, prob.exact)
+    coarsen = mark_under_threshold(amesh, ind, coarsen_tol)
+    if coarsen.size:
+        amesh.coarsen(coarsen)
+    return amesh
+
+
+def transient_mesh_sequence(
+    n: int = None,
+    steps: int = None,
+    refine_tol: float = None,
+    coarsen_tol: float = None,
+    t_start: float = -0.5,
+    t_end: float = 0.5,
+    warmup: int = 3,
+    paper_scale: bool = None,
+):
+    """Generator yielding ``(step, t, amesh)`` for the transient run.
+
+    ``warmup`` pre-adaptation rounds at ``t_start`` give the initial mesh
+    the paper's Figure 6(a) shape before the clock starts.
+    """
+    d = transient_defaults(paper_scale)
+    n = d["n"] if n is None else n
+    steps = d["steps"] if steps is None else steps
+    refine_tol = d["refine_tol"] if refine_tol is None else refine_tol
+    coarsen_tol = d["coarsen_tol"] if coarsen_tol is None else coarsen_tol
+
+    amesh = AdaptiveMesh.unit_square(n)
+    for _ in range(warmup):
+        adapt_step(amesh, t_start, refine_tol, coarsen_tol)
+    ts = np.linspace(t_start, t_end, steps)
+    for step, t in enumerate(ts):
+        adapt_step(amesh, float(t), refine_tol, coarsen_tol)
+        yield step, float(t), amesh
+
+
+class TransientRunner:
+    """Replays one transient mesh sequence under several repartitioners.
+
+    ``methods`` maps a name to a callable
+    ``method(amesh, p, state) -> (fine_assignment, new_state)`` where
+    ``state`` is the method's own carry-over (e.g. the current coarse
+    assignment for PNR, ``None`` on the first step).  The runner keeps one
+    :class:`AssignmentTracker` per method and records per-step series.
+    """
+
+    def __init__(self, p: int, methods: dict, **sequence_kw):
+        self.p = p
+        self.methods = methods
+        self.sequence_kw = sequence_kw
+        self.series = {name: [] for name in methods}
+
+    def run(self) -> dict:
+        states = {name: None for name in self.methods}
+        trackers = {}
+        for step, t, amesh in transient_mesh_sequence(**self.sequence_kw):
+            for name, method in self.methods.items():
+                fine, states[name] = method(amesh, self.p, states[name])
+                fine = np.asarray(fine)
+                if name not in trackers:
+                    trackers[name] = AssignmentTracker(amesh)
+                    moved = 0  # first placement is not migration
+                else:
+                    moved = trackers[name].migration(fine)
+                trackers[name].stamp(fine)
+                self.series[name].append(
+                    {
+                        "step": step,
+                        "t": t,
+                        "leaves": amesh.n_leaves,
+                        "shared_vertices": shared_vertex_count(amesh.mesh, fine),
+                        "cut": cut_size(amesh.mesh, fine),
+                        "moved": moved,
+                        "moved_frac": moved / amesh.n_leaves,
+                        "imbalance": imbalance(fine, self.p),
+                    }
+                )
+        return self.series

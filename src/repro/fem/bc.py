@@ -1,0 +1,35 @@
+"""Dirichlet boundary conditions by symmetric elimination."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def apply_dirichlet(A: sp.csr_matrix, b: np.ndarray, nodes, values):
+    """Impose ``u[nodes] = values`` on the linear system ``A u = b``.
+
+    Rows and columns of the constrained nodes are eliminated symmetrically
+    (so CG stays applicable): the right-hand side is corrected by the known
+    column contributions, then constrained rows/columns are replaced by the
+    identity.
+
+    Returns a new ``(A, b)`` pair; inputs are not modified.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    values = np.asarray(values, dtype=float)
+    if nodes.shape != values.shape:
+        raise ValueError("nodes and values must align")
+    n = A.shape[0]
+    u0 = np.zeros(n)
+    u0[nodes] = values
+    b = b - A @ u0
+    b[nodes] = values
+
+    mask = np.ones(n, dtype=bool)
+    mask[nodes] = False
+    keep = sp.diags(mask.astype(float))
+    A = keep @ A @ keep
+    A = sp.lil_matrix(A)
+    A[nodes, nodes] = 1.0
+    return sp.csr_matrix(A), b

@@ -1,0 +1,89 @@
+"""Vectorized P1 (linear simplicial) finite-element assembly.
+
+Works on any ``(verts, cells)`` pair — in practice the leaf mesh of an
+:class:`~repro.mesh.adapt.AdaptiveMesh`.  Assembly builds COO triplets for
+all elements at once (no Python-level per-element loop) and converts to CSR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.geometry.primitives import tet_volumes, tri_areas
+
+
+def gradients(verts: np.ndarray, cells: np.ndarray):
+    """Barycentric (hat-function) gradients and element measures.
+
+    Returns ``(grads, measures)`` where ``grads`` is ``(ne, npc, dim)`` —
+    the constant gradient of each local basis function on each element —
+    and ``measures`` is the element area/volume array.
+    """
+    verts = np.asarray(verts, dtype=float)
+    cells = np.asarray(cells, dtype=np.int64)
+    ne, npc = cells.shape
+    dim = verts.shape[1]
+    if npc != dim + 1:
+        raise ValueError("P1 needs simplices: npc == dim + 1")
+    # Rows of [1, x_i] matrix inverse give barycentric gradients.
+    ones = np.ones((ne, npc, 1))
+    mats = np.concatenate([ones, verts[cells]], axis=2)  # (ne, npc, dim+1)
+    inv = np.linalg.inv(mats)  # (ne, dim+1, npc)
+    grads = inv[:, 1:, :].transpose(0, 2, 1)  # (ne, npc, dim)
+    if dim == 2:
+        measures = tri_areas(verts, cells)
+    else:
+        measures = tet_volumes(verts, cells)
+    return grads, measures
+
+
+def stiffness_matrix(verts: np.ndarray, cells: np.ndarray) -> sp.csr_matrix:
+    """Assemble the P1 stiffness matrix ``A_ij = ∫ ∇φ_i · ∇φ_j``."""
+    cells = np.asarray(cells, dtype=np.int64)
+    grads, measures = gradients(verts, cells)
+    ne, npc = cells.shape
+    # local matrices: measure * G @ G^T, batched
+    local = np.einsum("eid,ejd->eij", grads, grads) * measures[:, None, None]
+    rows = np.repeat(cells, npc, axis=1).ravel()
+    cols = np.tile(cells, (1, npc)).ravel()
+    n = verts.shape[0]
+    return sp.csr_matrix((local.ravel(), (rows, cols)), shape=(n, n))
+
+
+def mass_matrix(verts: np.ndarray, cells: np.ndarray) -> sp.csr_matrix:
+    """Assemble the P1 mass matrix ``M_ij = ∫ φ_i φ_j`` (exact)."""
+    cells = np.asarray(cells, dtype=np.int64)
+    ne, npc = cells.shape
+    if npc == 3:
+        measures = tri_areas(verts, cells)
+        base = (np.ones((3, 3)) + np.eye(3)) / 12.0
+    else:
+        measures = tet_volumes(verts, cells)
+        base = (np.ones((4, 4)) + np.eye(4)) / 20.0
+    local = base[None, :, :] * measures[:, None, None]
+    rows = np.repeat(cells, npc, axis=1).ravel()
+    cols = np.tile(cells, (1, npc)).ravel()
+    n = verts.shape[0]
+    return sp.csr_matrix((local.ravel(), (rows, cols)), shape=(n, n))
+
+
+def load_vector(verts: np.ndarray, cells: np.ndarray, f) -> np.ndarray:
+    """Assemble ``b_i = ∫ f φ_i`` with the vertex (trapezoidal) quadrature
+    rule, exact for P1 loads and O(h²) otherwise.
+
+    ``f`` maps an ``(m, dim)`` coordinate array to ``(m,)`` values.
+    """
+    verts = np.asarray(verts, dtype=float)
+    cells = np.asarray(cells, dtype=np.int64)
+    npc = cells.shape[1]
+    if npc == 3:
+        measures = tri_areas(verts, cells)
+    else:
+        measures = tet_volumes(verts, cells)
+    fvals = np.asarray(f(verts))
+    b = np.zeros(verts.shape[0])
+    contrib = measures / npc
+    for k in range(npc):
+        np.add.at(b, cells[:, k], contrib * fvals[cells[:, k]])
+    return b

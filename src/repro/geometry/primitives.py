@@ -1,0 +1,191 @@
+"""Vectorized geometric primitives for simplicial meshes.
+
+All batch functions take a vertex coordinate array ``verts`` of shape
+``(nv, dim)`` and a connectivity array of element vertex indices, and return
+numpy arrays; they never copy coordinates beyond the fancy-indexed gathers
+they need.  Scalar convenience wrappers (``tri_area``, ``tet_volume``) are
+provided for single-element callers such as the bisection kernels.
+
+Local index conventions
+-----------------------
+Triangles have vertices ``(0, 1, 2)`` and local edges
+
+    ``TRI_EDGES = [(1, 2), (2, 0), (0, 1)]``
+
+so that local edge *i* is the edge *opposite* local vertex *i* (the standard
+FEM convention; it makes neighbor bookkeeping symmetric).
+
+Tetrahedra have vertices ``(0, 1, 2, 3)``, six local edges ``TET_EDGES``
+and four local faces ``TET_FACES`` where local face *i* is opposite local
+vertex *i*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Local edges of a triangle; edge ``i`` is opposite vertex ``i``.
+TRI_EDGES = ((1, 2), (2, 0), (0, 1))
+
+#: Local edges of a tetrahedron, in lexicographic order of local vertices.
+TET_EDGES = ((0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3))
+
+#: Local faces of a tetrahedron; face ``i`` is opposite vertex ``i``.
+TET_FACES = ((1, 2, 3), (0, 3, 2), (0, 1, 3), (0, 2, 1))
+
+
+def tri_areas(verts: np.ndarray, tris: np.ndarray) -> np.ndarray:
+    """Unsigned areas of a batch of triangles.
+
+    Parameters
+    ----------
+    verts:
+        ``(nv, 2)`` or ``(nv, 3)`` coordinates.
+    tris:
+        ``(nt, 3)`` vertex indices.
+
+    Returns
+    -------
+    ``(nt,)`` array of areas.
+    """
+    tris = np.asarray(tris, dtype=np.int64).reshape(-1, 3)
+    a = verts[tris[:, 0]]
+    b = verts[tris[:, 1]]
+    c = verts[tris[:, 2]]
+    u = b - a
+    v = c - a
+    if verts.shape[1] == 2:
+        cross = u[:, 0] * v[:, 1] - u[:, 1] * v[:, 0]
+        return 0.5 * np.abs(cross)
+    cr = np.cross(u, v)
+    return 0.5 * np.linalg.norm(cr, axis=1)
+
+
+def tri_area(verts: np.ndarray, tri) -> float:
+    """Unsigned area of a single triangle (convenience wrapper)."""
+    return float(tri_areas(verts, np.asarray(tri).reshape(1, 3))[0])
+
+
+def tet_volumes(verts: np.ndarray, tets: np.ndarray) -> np.ndarray:
+    """Unsigned volumes of a batch of tetrahedra.
+
+    Parameters
+    ----------
+    verts:
+        ``(nv, 3)`` coordinates.
+    tets:
+        ``(nt, 4)`` vertex indices.
+    """
+    tets = np.asarray(tets, dtype=np.int64).reshape(-1, 4)
+    a = verts[tets[:, 0]]
+    u = verts[tets[:, 1]] - a
+    v = verts[tets[:, 2]] - a
+    w = verts[tets[:, 3]] - a
+    det = np.einsum("ij,ij->i", np.cross(u, v), w)
+    return np.abs(det) / 6.0
+
+
+def tet_volume(verts: np.ndarray, tet) -> float:
+    """Unsigned volume of a single tetrahedron."""
+    return float(tet_volumes(verts, np.asarray(tet).reshape(1, 4))[0])
+
+
+def edge_lengths(verts: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Euclidean lengths of a batch of edges given as ``(ne, 2)`` indices."""
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    d = verts[edges[:, 0]] - verts[edges[:, 1]]
+    return np.linalg.norm(d, axis=1)
+
+
+def tri_edge_lengths(verts: np.ndarray, tris: np.ndarray) -> np.ndarray:
+    """Lengths of the three local edges of each triangle.
+
+    Returns ``(nt, 3)`` where column ``i`` is the length of the edge opposite
+    local vertex ``i`` (see :data:`TRI_EDGES`).
+    """
+    tris = np.asarray(tris, dtype=np.int64).reshape(-1, 3)
+    out = np.empty((tris.shape[0], 3), dtype=float)
+    for i, (p, q) in enumerate(TRI_EDGES):
+        d = verts[tris[:, p]] - verts[tris[:, q]]
+        out[:, i] = np.linalg.norm(d, axis=1)
+    return out
+
+
+def tet_edge_lengths(verts: np.ndarray, tets: np.ndarray) -> np.ndarray:
+    """Lengths of the six local edges of each tetrahedron, order :data:`TET_EDGES`."""
+    tets = np.asarray(tets, dtype=np.int64).reshape(-1, 4)
+    out = np.empty((tets.shape[0], 6), dtype=float)
+    for i, (p, q) in enumerate(TET_EDGES):
+        d = verts[tets[:, p]] - verts[tets[:, q]]
+        out[:, i] = np.linalg.norm(d, axis=1)
+    return out
+
+
+def _tie_break_longest(lengths: np.ndarray, vpairs: list) -> int:
+    """Pick the index of the longest edge; break exact ties by the smallest
+    (sorted) global vertex pair so that two elements sharing an edge agree on
+    which of their edges is 'longest'.  Deterministic across runs."""
+    lmax = lengths.max()
+    best = None
+    best_key = None
+    for i, ln in enumerate(lengths):
+        # Relative tolerance keeps float noise from making neighbors disagree.
+        if ln >= lmax * (1.0 - 1e-12):
+            key = tuple(sorted(vpairs[i]))
+            if best is None or key < best_key:
+                best = i
+                best_key = key
+    return best
+
+
+def tri_longest_edge(verts: np.ndarray, tri) -> int:
+    """Local index of the longest edge of one triangle (ties broken by
+    global vertex ids so neighbors agree)."""
+    tri = list(tri)
+    pairs = [(tri[p], tri[q]) for p, q in TRI_EDGES]
+    lens = edge_lengths(verts, np.asarray(pairs))
+    return _tie_break_longest(lens, pairs)
+
+
+def tet_longest_edge(verts: np.ndarray, tet) -> int:
+    """Local index (into :data:`TET_EDGES`) of the longest edge of one tet."""
+    tet = list(tet)
+    pairs = [(tet[p], tet[q]) for p, q in TET_EDGES]
+    lens = edge_lengths(verts, np.asarray(pairs))
+    return _tie_break_longest(lens, pairs)
+
+
+def centroids(verts: np.ndarray, cells: np.ndarray) -> np.ndarray:
+    """Centroids of a batch of simplices, ``(nc, dim)``."""
+    cells = np.asarray(cells, dtype=np.int64)
+    return verts[cells].mean(axis=1)
+
+
+def tri_quality(verts: np.ndarray, tris: np.ndarray) -> np.ndarray:
+    """Shape quality of triangles in ``(0, 1]``: normalized ratio of area to
+    squared RMS edge length (equilateral = 1, degenerate = 0)."""
+    areas = tri_areas(verts, tris)
+    lens = tri_edge_lengths(verts, tris)
+    denom = (lens**2).sum(axis=1)
+    # 4*sqrt(3) normalizes the equilateral triangle to quality 1.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        q = 4.0 * np.sqrt(3.0) * areas / denom
+    return np.where(denom > 0, q, 0.0)
+
+
+def tet_quality(verts: np.ndarray, tets: np.ndarray) -> np.ndarray:
+    """Shape quality of tets in ``(0, 1]``: normalized volume over cubed RMS
+    edge length (regular tet = 1)."""
+    vols = tet_volumes(verts, tets)
+    lens = tet_edge_lengths(verts, tets)
+    rms = np.sqrt((lens**2).mean(axis=1))
+    # Regular tet with edge a has volume a^3 / (6*sqrt(2)).
+    with np.errstate(divide="ignore", invalid="ignore"):
+        q = vols * 6.0 * np.sqrt(2.0) / rms**3
+    return np.where(rms > 0, q, 0.0)
+
+
+def bounding_box(verts: np.ndarray):
+    """``(lo, hi)`` corner coordinates of the vertex set."""
+    v = np.asarray(verts, dtype=float)
+    return v.min(axis=0), v.max(axis=0)

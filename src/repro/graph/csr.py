@@ -1,0 +1,165 @@
+"""Compressed-sparse-row weighted graph.
+
+The partitioners operate on undirected graphs with positive integer (or
+float) vertex and edge weights — dual graphs of meshes.  Storage follows the
+Metis/Chaco convention: ``xadj`` offsets into ``adjncy``/``ewts``, each
+undirected edge stored twice.  All bulk operations are vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class WeightedGraph:
+    """Undirected graph in CSR form with vertex and edge weights.
+
+    Attributes
+    ----------
+    xadj:
+        ``(nv+1,)`` int64 — adjacency offsets.
+    adjncy:
+        ``(2*ne,)`` int64 — neighbor lists.
+    ewts:
+        ``(2*ne,)`` float64 — edge weights, aligned with ``adjncy``.
+    vwts:
+        ``(nv,)`` float64 — vertex weights.
+    """
+
+    __slots__ = ("xadj", "adjncy", "ewts", "vwts")
+
+    def __init__(self, xadj, adjncy, ewts, vwts):
+        self.xadj = np.asarray(xadj, dtype=np.int64)
+        self.adjncy = np.asarray(adjncy, dtype=np.int64)
+        self.ewts = np.asarray(ewts, dtype=np.float64)
+        self.vwts = np.asarray(vwts, dtype=np.float64)
+        if self.xadj.ndim != 1 or self.xadj[0] != 0:
+            raise ValueError("xadj must be 1-D and start at 0")
+        if self.xadj[-1] != self.adjncy.shape[0]:
+            raise ValueError("xadj[-1] must equal len(adjncy)")
+        if self.ewts.shape != self.adjncy.shape:
+            raise ValueError("ewts must align with adjncy")
+        if self.vwts.shape[0] != self.n_vertices:
+            raise ValueError("vwts must have one entry per vertex")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edges(cls, n: int, edges, eweights=None, vweights=None) -> "WeightedGraph":
+        """Build from an edge list ``(u, v)`` (each undirected edge once).
+
+        Duplicate edges are merged by summing their weights; self-loops are
+        dropped.
+        """
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if eweights is None:
+            eweights = np.ones(edges.shape[0])
+        else:
+            eweights = np.asarray(eweights, dtype=np.float64).reshape(-1)
+        if edges.size:
+            keep = edges[:, 0] != edges[:, 1]
+            edges = edges[keep]
+            eweights = eweights[keep]
+        if edges.size and (edges.min() < 0 or edges.max() >= n):
+            raise ValueError("edge endpoint out of range")
+        # symmetrize then merge duplicates through a sparse matrix round-trip
+        rows = np.concatenate([edges[:, 0], edges[:, 1]])
+        cols = np.concatenate([edges[:, 1], edges[:, 0]])
+        wts = np.concatenate([eweights, eweights])
+        mat = sp.csr_matrix((wts, (rows, cols)), shape=(n, n))
+        mat.sum_duplicates()
+        if vweights is None:
+            vweights = np.ones(n)
+        return cls(mat.indptr, mat.indices, mat.data, vweights)
+
+    @classmethod
+    def from_scipy(cls, mat, vweights=None) -> "WeightedGraph":
+        """Build from a symmetric scipy sparse adjacency matrix."""
+        mat = sp.csr_matrix(mat)
+        mat.setdiag(0)
+        mat.eliminate_zeros()
+        n = mat.shape[0]
+        if vweights is None:
+            vweights = np.ones(n)
+        return cls(mat.indptr, mat.indices, mat.data, vweights)
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_vertices(self) -> int:
+        return self.xadj.shape[0] - 1
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return self.adjncy.shape[0] // 2
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.adjncy[self.xadj[v] : self.xadj[v + 1]]
+
+    def edge_weights(self, v: int) -> np.ndarray:
+        return self.ewts[self.xadj[v] : self.xadj[v + 1]]
+
+    def degree(self, v: int) -> int:
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    @property
+    def total_vweight(self) -> float:
+        return float(self.vwts.sum())
+
+    @property
+    def total_eweight(self) -> float:
+        return float(self.ewts.sum()) / 2.0
+
+    def to_scipy(self) -> sp.csr_matrix:
+        """Adjacency matrix as scipy CSR (edge weights as entries)."""
+        return sp.csr_matrix(
+            (self.ewts, self.adjncy, self.xadj),
+            shape=(self.n_vertices, self.n_vertices),
+        )
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+
+    def connected_components(self) -> np.ndarray:
+        """Component label per vertex (scipy BFS)."""
+        ncomp, labels = sp.csgraph.connected_components(self.to_scipy(), directed=False)
+        return labels
+
+    def is_connected(self) -> bool:
+        if self.n_vertices == 0:
+            return True
+        return sp.csgraph.connected_components(self.to_scipy(), directed=False)[0] == 1
+
+    def subgraph(self, vertices) -> tuple:
+        """Induced subgraph on ``vertices``.
+
+        Returns ``(sub, mapping)`` where ``mapping`` is the array of original
+        vertex ids in subgraph order.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        mat = self.to_scipy()[vertices][:, vertices]
+        sub = WeightedGraph.from_scipy(mat, self.vwts[vertices])
+        return sub, vertices
+
+    def validate(self) -> None:
+        """Check CSR symmetry and weight positivity (test helper)."""
+        mat = self.to_scipy()
+        asym = mat - mat.T
+        if asym.nnz:
+            assert abs(asym).max() < 1e-9, "adjacency not symmetric"
+        assert np.all(self.ewts > 0), "nonpositive edge weight"
+        assert np.all(self.vwts >= 0), "negative vertex weight"
+        assert not np.any(self.adjncy == np.repeat(np.arange(self.n_vertices), np.diff(self.xadj))), "self loop"
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedGraph(nv={self.n_vertices}, ne={self.n_edges}, "
+            f"W={self.total_vweight:g})"
+        )

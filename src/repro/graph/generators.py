@@ -1,0 +1,97 @@
+"""Synthetic graph generators for testing and benchmarking partitioners.
+
+Dual graphs of meshes are the production input; these generators provide
+controlled topologies with known optimal cuts (grids, torus), pathological
+cases (stars, caterpillars), and random geometric graphs resembling mesh
+duals statistically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import WeightedGraph
+
+
+def grid_graph(nx: int, ny: int = None, vweights=None) -> WeightedGraph:
+    """4-neighbor grid; the optimal bisection of an ``n x n`` grid cuts
+    ``n`` edges."""
+    if ny is None:
+        ny = nx
+    edges = []
+    for i in range(nx):
+        for j in range(ny):
+            v = i * ny + j
+            if i + 1 < nx:
+                edges.append((v, v + ny))
+            if j + 1 < ny:
+                edges.append((v, v + 1))
+    return WeightedGraph.from_edges(nx * ny, edges, vweights=vweights)
+
+
+def torus_graph(nx: int, ny: int = None) -> WeightedGraph:
+    """Grid with wraparound (vertex-transitive; every bisection cuts at
+    least ``2·min(nx, ny)`` edges)."""
+    if ny is None:
+        ny = nx
+    edges = []
+    for i in range(nx):
+        for j in range(ny):
+            v = i * ny + j
+            edges.append((v, ((i + 1) % nx) * ny + j))
+            edges.append((v, i * ny + (j + 1) % ny))
+    return WeightedGraph.from_edges(nx * ny, edges)
+
+
+def path_graph(n: int, vweights=None) -> WeightedGraph:
+    return WeightedGraph.from_edges(
+        n, [(i, i + 1) for i in range(n - 1)], vweights=vweights
+    )
+
+
+def star_graph(n: int) -> WeightedGraph:
+    """One hub, ``n-1`` spokes — worst case for matching-based contraction
+    (only one edge can be matched per round)."""
+    return WeightedGraph.from_edges(n, [(0, i) for i in range(1, n)])
+
+
+def caterpillar_graph(spine: int, legs: int) -> WeightedGraph:
+    """A path of ``spine`` vertices, each carrying ``legs`` pendant
+    vertices — stresses balance with many degree-1 vertices."""
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    n = spine
+    for s in range(spine):
+        for _ in range(legs):
+            edges.append((s, n))
+            n += 1
+    return WeightedGraph.from_edges(n, edges)
+
+
+def random_geometric_graph(
+    n: int, radius: float = None, seed: int = 0
+) -> WeightedGraph:
+    """Uniform points in the unit square, edges within ``radius``
+    (default chosen to land near the connectivity threshold with average
+    degree ~6, like a triangulation dual)."""
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0, 1, (n, 2))
+    if radius is None:
+        radius = np.sqrt(3.0 / n)
+    from scipy.spatial import cKDTree
+
+    tree = cKDTree(pts)
+    pairs = tree.query_pairs(radius, output_type="ndarray")
+    return WeightedGraph.from_edges(n, pairs)
+
+
+def weighted_refinement_profile(
+    n: int, hot_fraction: float = 0.1, hot_weight: float = 16.0, seed: int = 0
+) -> np.ndarray:
+    """A vertex-weight vector mimicking local refinement: a ``hot_fraction``
+    of vertices carries ``hot_weight``, the rest weight 1 — the coarse dual
+    graph's weight distribution after adaptation."""
+    rng = np.random.default_rng(seed)
+    w = np.ones(n)
+    k = max(1, int(hot_fraction * n))
+    w[rng.choice(n, size=k, replace=False)] = hot_weight
+    return w

@@ -1,0 +1,222 @@
+"""Common machinery of the nested simplicial meshes (2D and 3D).
+
+A :class:`SimplexMesh` stores *every element ever created* — the refinement
+forest nodes — in flat growable arrays; the current mesh ``M^t`` is the set
+of active leaves of the :class:`~repro.mesh.forest.RefinementForest`.  Edge
+midpoints are memoized so that coarsening followed by re-refinement
+reproduces identical vertex ids (PARED's persistent-tree behaviour).
+
+Subclasses (:class:`~repro.mesh.mesh2d.TriMesh`,
+:class:`~repro.mesh.mesh3d.TetMesh`) maintain incremental facet-adjacency
+dictionaries via the ``_on_activate`` / ``_on_deactivate`` hooks that the
+refinement and coarsening kernels call whenever an element enters or leaves
+the active leaf set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.forest import RefinementForest, LEAF
+from repro.mesh.growable import GrowableMatrix
+
+
+class SimplexMesh:
+    """Base class for the nested 2-D triangle / 3-D tetrahedral meshes."""
+
+    #: spatial dimension; set by subclass
+    dim: int = 0
+    #: vertices per element; set by subclass
+    nodes_per_cell: int = 0
+
+    def __init__(self, verts: np.ndarray, cells: np.ndarray):
+        verts = np.asarray(verts, dtype=float)
+        cells = np.asarray(cells, dtype=np.int64)
+        if verts.ndim != 2 or verts.shape[1] != self.dim:
+            raise ValueError(f"verts must be (nv, {self.dim})")
+        if cells.ndim != 2 or cells.shape[1] != self.nodes_per_cell:
+            raise ValueError(f"cells must be (ne, {self.nodes_per_cell})")
+        if cells.size and (cells.min() < 0 or cells.max() >= verts.shape[0]):
+            raise ValueError("cell vertex index out of range")
+        self._pts = GrowableMatrix(self.dim, float, capacity=max(16, 2 * verts.shape[0]))
+        self._pts.extend(verts)
+        self._cells = GrowableMatrix(
+            self.nodes_per_cell, np.int64, capacity=max(16, 2 * cells.shape[0])
+        )
+        self._cells.extend(cells)
+        self.forest = RefinementForest()
+        self.forest.add_roots(cells.shape[0])
+        #: memo: sorted vertex pair -> midpoint vertex id
+        self._midpoint: dict = {}
+        #: memo: element id -> sorted global vertex pair of its longest edge
+        self._longest: dict = {}
+        for eid in range(cells.shape[0]):
+            self._on_activate(eid)
+
+    # ------------------------------------------------------------------ #
+    # storage accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def verts(self) -> np.ndarray:
+        """``(nv, dim)`` view of all vertex coordinates ever created."""
+        return self._pts.data
+
+    @property
+    def n_verts(self) -> int:
+        return len(self._pts)
+
+    @property
+    def cells(self) -> np.ndarray:
+        """``(ne, npc)`` view of connectivity of *all* forest elements."""
+        return self._cells.data
+
+    @property
+    def n_elements(self) -> int:
+        """Total forest elements (all states)."""
+        return len(self._cells)
+
+    @property
+    def n_leaves(self) -> int:
+        """Size of the current mesh ``M^t``."""
+        return self.forest.n_leaves
+
+    @property
+    def n_roots(self) -> int:
+        """Size of the coarse mesh ``M^0``."""
+        return self.forest.n_roots
+
+    def cell(self, eid: int) -> tuple:
+        return tuple(int(v) for v in self._cells[eid])
+
+    def leaf_ids(self) -> np.ndarray:
+        """Element ids of the current mesh ``M^t`` (ascending)."""
+        return self.forest.leaves()
+
+    def leaf_cells(self) -> np.ndarray:
+        """Connectivity ``(n_leaves, npc)`` of the current mesh."""
+        return self._cells.data[self.leaf_ids()]
+
+    def leaf_roots(self) -> np.ndarray:
+        """For each leaf (in ``leaf_ids()`` order), the id of its level-0
+        ancestor — the coarse element whose tree contains it."""
+        return self.forest.root_array[self.leaf_ids()]
+
+    # ------------------------------------------------------------------ #
+    # vertices
+    # ------------------------------------------------------------------ #
+
+    def add_vertex(self, xyz) -> int:
+        return self._pts.append(xyz)
+
+    def midpoint(self, a: int, b: int) -> int:
+        """Vertex id of the midpoint of edge ``(a, b)``; created and memoized
+        on first use so bisections from either side share the vertex."""
+        key = (a, b) if a < b else (b, a)
+        vid = self._midpoint.get(key)
+        if vid is None:
+            p = 0.5 * (self._pts[a] + self._pts[b])
+            vid = self._pts.append(p)
+            self._midpoint[key] = vid
+        return vid
+
+    # ------------------------------------------------------------------ #
+    # geometry queries
+    # ------------------------------------------------------------------ #
+
+    def longest_edge(self, eid: int) -> tuple:
+        """Sorted global vertex pair of the element's longest edge (memoized;
+        ties broken by smallest vertex pair so neighbors agree)."""
+        pair = self._longest.get(eid)
+        if pair is None:
+            pair = self._compute_longest_edge(eid)
+            self._longest[eid] = pair
+        return pair
+
+    def _compute_longest_edge(self, eid: int) -> tuple:
+        raise NotImplementedError
+
+    # hooks implemented by subclasses ----------------------------------- #
+
+    def _on_activate(self, eid: int) -> None:
+        """Called when ``eid`` becomes an active leaf."""
+        raise NotImplementedError
+
+    def _on_deactivate(self, eid: int) -> None:
+        """Called when ``eid`` stops being an active leaf."""
+        raise NotImplementedError
+
+    # shared refinement plumbing ---------------------------------------- #
+
+    def _new_children(self, parent: int, cell0, cell1) -> tuple:
+        """Split ``parent`` in the forest; assign geometry for newly created
+        children (reactivated children keep their stored geometry).  Updates
+        the facet adjacency for parent and children."""
+        c0, c1, created = self.forest.split(parent)
+        if created:
+            i0 = self._cells.append(cell0)
+            i1 = self._cells.append(cell1)
+            assert i0 == c0 and i1 == c1, "forest and cell ids must stay in lockstep"
+        self._on_deactivate(parent)
+        self._on_activate(c0)
+        self._on_activate(c1)
+        return c0, c1
+
+    def _merge_children(self, parent: int) -> None:
+        """Coarsen ``parent`` (children must be active leaves): children
+        become INACTIVE, parent returns to the leaf set."""
+        c0, c1 = self.forest.merge(parent)
+        self._on_deactivate(c0)
+        self._on_deactivate(c1)
+        self._on_activate(parent)
+
+    # ------------------------------------------------------------------ #
+    # validation helpers (used by the test-suite)
+    # ------------------------------------------------------------------ #
+
+    def boundary_vertices(self) -> np.ndarray:
+        """Vertex ids on the domain boundary of the current leaf mesh:
+        vertices of facets shared by exactly one leaf element."""
+        facets, counts = self._leaf_facets_with_counts()
+        b = facets[counts == 1]
+        return np.unique(b.ravel())
+
+    def _leaf_facets_with_counts(self):
+        """``(facets, counts)``: unique sorted facets of the leaf mesh and
+        how many leaf elements contain each."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _facet_edge_pairs(facet) -> list:
+        """Vertex pairs forming the edges of one facet (a 2-tuple edge in 2D,
+        a 3-tuple face in 3D).  Overridden in 3D."""
+        return [tuple(facet)]
+
+    def check_conformal(self) -> None:
+        """Assert the leaf mesh is conformal (no hanging nodes).
+
+        Two conditions:
+
+        1. every facet is shared by at most two leaf elements;
+        2. a facet shared by exactly *one* leaf element must lie on the
+           domain boundary.  A hanging node manifests as an interior facet
+           seen whole from one side and split from the other, so the whole
+           facet has count 1.  We detect this exactly using the midpoint
+           memo: if any edge of a count-1 facet has a memoized midpoint
+           vertex that is used by an active leaf, the facet is split on the
+           other side — a conformality violation.  (Edges of a genuine
+           boundary facet can never have an active midpoint, because leaves
+           tile the domain exactly.)
+        """
+        facets, counts = self._leaf_facets_with_counts()
+        assert counts.max(initial=1) <= 2, "facet shared by more than 2 leaf elements"
+        active_verts = set(int(v) for v in np.unique(self.leaf_cells().ravel()))
+        for f, c in zip(facets[counts == 1], counts[counts == 1]):
+            for a, b in self._facet_edge_pairs(tuple(int(v) for v in f)):
+                key = (a, b) if a < b else (b, a)
+                mid = self._midpoint.get(key)
+                if mid is not None and mid in active_verts:
+                    raise AssertionError(
+                        f"hanging node: facet {tuple(f)} whole on one side, "
+                        f"edge ({a},{b}) split at active vertex {mid}"
+                    )

@@ -1,0 +1,109 @@
+"""Nested coarsening: replace all children of a refined element by their
+parent (Section 2 of the paper).
+
+Coarsening is only applied where it keeps the mesh conformal.  The unit of
+coarsening is the *bisection group*: the set of parents whose bisections
+introduced the same midpoint vertex ``m`` (in 2-D, the pair of triangles
+sharing the bisected edge; in 3-D, the whole edge star).  A group may be
+merged iff
+
+* every parent's two children are active leaves, all marked for coarsening,
+  and
+* no *other* active leaf uses the midpoint vertex ``m`` (which would leave a
+  hanging node).
+
+Elements are never destroyed: merged children become ``INACTIVE`` in the
+forest and are reactivated verbatim if the region is refined again.  ``M^0``
+is the coarsest mesh the system can represent (roots have no parents).
+
+The implementation is dimension-generic: it relies only on the forest and on
+the ``_merge_children`` hook of the mesh.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+def _bisection_midpoint(mesh, parent: int) -> int:
+    """The midpoint vertex introduced when ``parent`` was bisected: the one
+    vertex of a child that the parent does not have."""
+    c0, _ = mesh.forest.children(parent)
+    pcell = set(mesh.cell(parent))
+    for v in mesh.cell(c0):
+        if v not in pcell:
+            return v
+    raise AssertionError("child has no vertex outside its parent")
+
+
+def coarsen(mesh, marked) -> list:
+    """Coarsen the mesh where all conditions hold.
+
+    Parameters
+    ----------
+    mesh:
+        A :class:`~repro.mesh.mesh2d.TriMesh` or
+        :class:`~repro.mesh.mesh3d.TetMesh`.
+    marked:
+        Iterable of leaf element ids the caller wants removed (e.g. leaves
+        whose error indicator is small).  Only complete bisection groups
+        whose children are all marked are merged.
+
+    Returns
+    -------
+    list of int
+        The parents that were merged (now active leaves).
+    """
+    forest = mesh.forest
+    marked = {int(e) for e in marked if forest.is_leaf(int(e))}
+    if not marked:
+        return []
+
+    # Candidate parents: both children are marked leaves.
+    parents = {}
+    for leaf in marked:
+        p = forest.parent(leaf)
+        if p < 0 or p in parents:
+            continue
+        kids = forest.children(p)
+        c0, c1 = kids
+        if (
+            c0 in marked
+            and c1 in marked
+            and forest.is_leaf(c0)
+            and forest.is_leaf(c1)
+        ):
+            parents[p] = _bisection_midpoint(mesh, p)
+
+    if not parents:
+        return []
+
+    # Group candidates by their bisection midpoint.
+    groups = defaultdict(list)
+    for p, m in parents.items():
+        groups[m].append(p)
+
+    # For each candidate midpoint, collect all active leaves that use it
+    # (one sweep over the leaf mesh).
+    wanted = set(groups)
+    users = defaultdict(set)
+    cells = mesh.leaf_cells()
+    for leaf, cell in zip(mesh.leaf_ids(), cells):
+        for v in cell:
+            v = int(v)
+            if v in wanted:
+                users[v].add(int(leaf))
+
+    merged = []
+    for m, ps in groups.items():
+        children = set()
+        for p in ps:
+            c0, c1 = forest.children(p)
+            children.add(c0)
+            children.add(c1)
+        if users[m] <= children:
+            # Every active user of the midpoint disappears with the merge.
+            for p in ps:
+                mesh._merge_children(p)
+                merged.append(p)
+    return merged

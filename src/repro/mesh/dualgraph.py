@@ -1,0 +1,111 @@
+"""Dual graphs of nested meshes (Section 5 of the paper).
+
+The **fine dual graph** has one vertex per leaf element of ``M^t`` and an
+edge between leaves sharing an edge (2-D) or face (3-D).
+
+The **coarse dual graph** ``G`` — PNR's partitioning substrate — has one
+vertex ``w_a`` per coarse element ``Ω_a`` of ``M^0``; the weight of ``w_a``
+is the number of active leaves of its refinement tree ``τ_a``, and the
+weight of edge ``(w_a, w_b)`` is the number of *adjacent leaf pairs* whose
+trees are ``τ_a`` and ``τ_b``.  We compute these exactly by classifying
+every fine adjacency by the roots of its two leaves, so the coarse weights
+track refinement and coarsening automatically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import WeightedGraph
+
+
+def _leaf_adjacency_pairs(mesh) -> np.ndarray:
+    """``(k, 2)`` array of leaf-*position* pairs (indices into
+    ``mesh.leaf_ids()``) for every shared facet of the leaf mesh."""
+    cells = mesh.leaf_cells()
+    nl = cells.shape[0]
+    if nl == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if mesh.nodes_per_cell == 3:
+        facets = np.concatenate(
+            [cells[:, [1, 2]], cells[:, [2, 0]], cells[:, [0, 1]]], axis=0
+        )
+        owner = np.tile(np.arange(nl, dtype=np.int64), 3)
+    else:
+        facets = np.concatenate(
+            [
+                cells[:, [1, 2, 3]],
+                cells[:, [0, 2, 3]],
+                cells[:, [0, 1, 3]],
+                cells[:, [0, 1, 2]],
+            ],
+            axis=0,
+        )
+        owner = np.tile(np.arange(nl, dtype=np.int64), 4)
+    facets = np.sort(facets, axis=1)
+    order = np.lexsort(facets.T[::-1])
+    facets = facets[order]
+    owner = owner[order]
+    same = np.all(facets[1:] == facets[:-1], axis=1)
+    left = owner[:-1][same]
+    right = owner[1:][same]
+    return np.column_stack([left, right])
+
+
+def fine_dual_graph(mesh) -> tuple:
+    """Dual graph of the current leaf mesh ``M^t``.
+
+    Returns ``(graph, leaf_ids)``: unit vertex and edge weights; vertex ``i``
+    of the graph is the leaf ``leaf_ids[i]``.
+    """
+    leaf_ids = mesh.leaf_ids()
+    pairs = _leaf_adjacency_pairs(mesh)
+    graph = WeightedGraph.from_edges(
+        leaf_ids.shape[0], pairs, np.ones(pairs.shape[0]), np.ones(leaf_ids.shape[0])
+    )
+    return graph, leaf_ids
+
+
+def coarse_dual_graph(mesh) -> WeightedGraph:
+    """The weighted dual graph ``G`` of ``M^0`` (Section 5): vertex ``a``
+    weighs ``#leaves(τ_a)``; edge ``(a, b)`` weighs the number of adjacent
+    leaf pairs across the coarse boundary."""
+    vwts = mesh.forest.leaf_counts_by_root().astype(np.float64)
+    leaf_roots = mesh.leaf_roots()
+    pairs = _leaf_adjacency_pairs(mesh)
+    ra = leaf_roots[pairs[:, 0]]
+    rb = leaf_roots[pairs[:, 1]]
+    cross = ra != rb
+    edges = np.column_stack([ra[cross], rb[cross]])
+    graph = WeightedGraph.from_edges(
+        mesh.n_roots, edges, np.ones(edges.shape[0]), vwts
+    )
+    return graph
+
+
+def leaf_assignment_from_roots(mesh, coarse_assignment: np.ndarray) -> np.ndarray:
+    """Induce a fine partition of ``M^t`` from a partition of the coarse dual
+    graph: each leaf goes where its refinement tree's root goes (PNR migrates
+    whole trees)."""
+    coarse_assignment = np.asarray(coarse_assignment)
+    if coarse_assignment.shape[0] != mesh.n_roots:
+        raise ValueError("coarse assignment must cover every root")
+    return coarse_assignment[mesh.leaf_roots()]
+
+
+def coarse_weight_update(mesh, prev_vwts=None, prev_graph=None):
+    """Incremental weight recomputation (phase P1 of Fig. 2).
+
+    Returns ``(graph, changed_roots)`` where ``changed_roots`` are the coarse
+    elements whose vertex weight differs from ``prev_vwts`` — the updates the
+    processors would send to the coordinator in phase P2.  The full graph is
+    rebuilt (exact), but the changed-set is what travels over the network in
+    the PARED simulation.
+    """
+    graph = coarse_dual_graph(mesh)
+    if prev_vwts is None:
+        changed = np.arange(mesh.n_roots)
+    else:
+        prev_vwts = np.asarray(prev_vwts)
+        changed = np.nonzero(graph.vwts != prev_vwts)[0]
+    return graph, changed

@@ -1,0 +1,281 @@
+"""Refinement-history forest: one tree per coarse (level-0) element.
+
+Section 2 of the paper: *"when an element is refined, it does not get
+destroyed. Instead, the refined element inserts itself into a tree. The
+refined mesh forms a forest of refinement trees, one per initial mesh
+element."*  Leaves of the forest form the current most refined mesh ``M^t``;
+coarsening replaces all children of a refined element by their parent.
+
+Element states
+--------------
+``LEAF``
+    Active element of the current mesh ``M^t``.
+``INTERIOR``
+    Refined element: its two bisection children are active (directly or
+    through further refinement).
+``INACTIVE``
+    The element exists in the tree (it was created by a past refinement) but
+    an ancestor is currently a ``LEAF`` — i.e. the region was coarsened.
+    Re-refining the ancestor *reactivates* these children instead of
+    recreating them, so element ids, geometry and midpoints are stable
+    across refine/coarsen cycles (this mirrors PARED's persistent trees).
+
+Invariant: on every root-to-leaf path of a tree exactly one element is
+``LEAF``; the set of ``LEAF`` descendants of a root tiles the root exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.growable import GrowableVector
+
+LEAF = 0
+INTERIOR = 1
+INACTIVE = 2
+
+_NO = -1
+
+
+class RefinementForest:
+    """Forest of binary refinement-history trees over element ids.
+
+    Elements are identified by dense integer ids in creation order; ids
+    ``0..n_roots-1`` are the level-0 (coarse) elements.  Bisection always
+    creates exactly two children.
+    """
+
+    def __init__(self) -> None:
+        self._parent = GrowableVector(np.int64)
+        self._child0 = GrowableVector(np.int64)
+        self._child1 = GrowableVector(np.int64)
+        self._root = GrowableVector(np.int64)
+        self._depth = GrowableVector(np.int32)
+        self._status = GrowableVector(np.uint8)
+        self._n_roots = 0
+        #: number of currently active leaves (maintained incrementally)
+        self._n_leaves = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def add_root(self) -> int:
+        """Create a level-0 element; it starts as a LEAF of its own tree."""
+        eid = self._parent.append(_NO)
+        self._child0.append(_NO)
+        self._child1.append(_NO)
+        self._root.append(eid)
+        self._depth.append(0)
+        self._status.append(LEAF)
+        self._n_roots += 1
+        self._n_leaves += 1
+        return eid
+
+    def add_roots(self, k: int) -> range:
+        """Create ``k`` level-0 elements; returns their id range."""
+        first = len(self._parent)
+        for _ in range(k):
+            self.add_root()
+        return range(first, first + k)
+
+    def split(self, parent: int) -> tuple:
+        """Refine ``parent``.
+
+        If ``parent`` has never been refined, two fresh child ids are created.
+        If it was refined before and later coarsened (children INACTIVE), the
+        existing children are *reactivated*.  Either way ``parent`` becomes
+        INTERIOR and the two children become LEAF.
+
+        Returns ``(child0, child1, created)`` where ``created`` is True iff
+        new ids were allocated (the caller must then assign geometry).
+        """
+        st = self._status[parent]
+        if st != LEAF:
+            raise ValueError(f"can only split a LEAF element, got status {st} for {parent}")
+        c0 = self._child0[parent]
+        if c0 != _NO:
+            c1 = self._child1[parent]
+            # Reactivate the memoized children.
+            if self._status[c0] != INACTIVE or self._status[c1] != INACTIVE:
+                raise AssertionError("children of a LEAF must be INACTIVE")
+            self._status[c0] = LEAF
+            self._status[c1] = LEAF
+            self._status[parent] = INTERIOR
+            self._n_leaves += 1
+            return int(c0), int(c1), False
+        root = self._root[parent]
+        depth = self._depth[parent] + 1
+        c0 = self._parent.append(parent)
+        self._child0.append(_NO)
+        self._child1.append(_NO)
+        self._root.append(root)
+        self._depth.append(depth)
+        self._status.append(LEAF)
+        c1 = self._parent.append(parent)
+        self._child0.append(_NO)
+        self._child1.append(_NO)
+        self._root.append(root)
+        self._depth.append(depth)
+        self._status.append(LEAF)
+        self._child0[parent] = c0
+        self._child1[parent] = c1
+        self._status[parent] = INTERIOR
+        self._n_leaves += 1
+        return int(c0), int(c1), True
+
+    def merge(self, parent: int) -> tuple:
+        """Coarsen: deactivate both children of ``parent`` (which must be
+        LEAF) and make ``parent`` a LEAF again.  Returns the child ids."""
+        if self._status[parent] != INTERIOR:
+            raise ValueError("can only merge an INTERIOR element")
+        c0 = int(self._child0[parent])
+        c1 = int(self._child1[parent])
+        if self._status[c0] != LEAF or self._status[c1] != LEAF:
+            raise ValueError("both children must be LEAF to merge")
+        self._status[c0] = INACTIVE
+        self._status[c1] = INACTIVE
+        self._status[parent] = LEAF
+        self._n_leaves -= 1
+        return c0, c1
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        """Total number of elements ever created (all states)."""
+        return len(self._parent)
+
+    @property
+    def n_roots(self) -> int:
+        return self._n_roots
+
+    @property
+    def n_leaves(self) -> int:
+        return self._n_leaves
+
+    def status(self, eid: int) -> int:
+        return int(self._status[eid])
+
+    def is_leaf(self, eid: int) -> bool:
+        return self._status[eid] == LEAF
+
+    def parent(self, eid: int) -> int:
+        return int(self._parent[eid])
+
+    def children(self, eid: int) -> tuple:
+        """``(child0, child1)`` or ``None`` if never refined."""
+        c0 = self._child0[eid]
+        if c0 == _NO:
+            return None
+        return int(c0), int(self._child1[eid])
+
+    def root(self, eid: int) -> int:
+        return int(self._root[eid])
+
+    def depth(self, eid: int) -> int:
+        return int(self._depth[eid])
+
+    @property
+    def status_array(self) -> np.ndarray:
+        return self._status.data
+
+    @property
+    def root_array(self) -> np.ndarray:
+        return self._root.data
+
+    @property
+    def depth_array(self) -> np.ndarray:
+        return self._depth.data
+
+    @property
+    def parent_array(self) -> np.ndarray:
+        return self._parent.data
+
+    def leaves(self) -> np.ndarray:
+        """Ids of all active leaf elements, ascending."""
+        return np.nonzero(self._status.data == LEAF)[0]
+
+    def leaf_counts_by_root(self) -> np.ndarray:
+        """Vertex weights of the coarse dual graph: for each root, the number
+        of active leaves of its tree (Section 5)."""
+        leaves = self.leaves()
+        return np.bincount(self._root.data[leaves], minlength=self._n_roots)
+
+    def subtree_leaves(self, eid: int) -> list:
+        """Active leaves of the subtree rooted at ``eid`` (eid included if it
+        is itself a LEAF).  Used when a refinement tree is migrated: *"when an
+        element is migrated all its descendants are migrated as well."*"""
+        out = []
+        stack = [eid]
+        while stack:
+            e = stack.pop()
+            st = self._status[e]
+            if st == LEAF:
+                out.append(int(e))
+            elif st == INTERIOR:
+                stack.append(int(self._child0[e]))
+                stack.append(int(self._child1[e]))
+            # INACTIVE subtrees contain no active leaves
+        return out
+
+    def subtree_size(self, eid: int) -> int:
+        """Number of tree nodes (any state) in the subtree rooted at ``eid``.
+        Approximates the data volume moved when the tree migrates."""
+        count = 0
+        stack = [eid]
+        while stack:
+            e = stack.pop()
+            count += 1
+            c0 = self._child0[e]
+            if c0 != _NO:
+                stack.append(int(c0))
+                stack.append(int(self._child1[e]))
+        return count
+
+    def ancestors(self, eid: int) -> list:
+        """Path of ancestors of ``eid`` up to (and including) its root."""
+        out = []
+        p = self._parent[eid]
+        while p != _NO:
+            out.append(int(p))
+            p = self._parent[p]
+        return out
+
+    def validate(self) -> None:
+        """Check the structural invariants; raises AssertionError on failure.
+
+        Intended for tests — O(total elements).
+        """
+        n = len(self)
+        status = self._status.data
+        parent = self._parent.data
+        c0s = self._child0.data
+        c1s = self._child1.data
+        assert self._n_leaves == int((status == LEAF).sum())
+        for e in range(n):
+            st = status[e]
+            c0, c1 = c0s[e], c1s[e]
+            assert (c0 == _NO) == (c1 == _NO)
+            if st == INTERIOR:
+                assert c0 != _NO, f"INTERIOR {e} without children"
+                assert status[c0] != INACTIVE and status[c1] != INACTIVE
+            elif st == LEAF:
+                if c0 != _NO:
+                    assert status[c0] == INACTIVE and status[c1] == INACTIVE
+            else:  # INACTIVE
+                p = parent[e]
+                assert p != _NO, "a root cannot be INACTIVE"
+                if c0 != _NO:
+                    assert status[c0] == INACTIVE and status[c1] == INACTIVE
+            if c0 != _NO:
+                assert parent[c0] == e and parent[c1] == e
+        # exactly one LEAF on each root-to-active-leaf path: every active
+        # element's ancestors are all INTERIOR
+        for e in range(n):
+            if status[e] == LEAF:
+                p = parent[e]
+                while p != _NO:
+                    assert status[p] == INTERIOR, f"leaf {e} under non-INTERIOR {p}"
+                    p = parent[p]

@@ -1,0 +1,120 @@
+"""Grow-in-place numpy storage used by the mesh database.
+
+Adaptive refinement appends elements and vertices continuously; reallocating
+a fresh numpy array per append would be quadratic.  These small wrappers keep
+a capacity-doubling backing array and expose a zero-copy view of the live
+prefix, following the "be easy on the memory: use views, not copies" rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class GrowableMatrix:
+    """A 2-D array of fixed column count that supports amortized O(1) row
+    appends.  ``data`` returns a *view* of the live rows."""
+
+    __slots__ = ("_buf", "_n", "_cols")
+
+    def __init__(self, cols: int, dtype, capacity: int = 16):
+        self._cols = int(cols)
+        self._buf = np.empty((max(capacity, 1), self._cols), dtype=dtype)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def cols(self) -> int:
+        return self._cols
+
+    @property
+    def data(self) -> np.ndarray:
+        """View of the live rows; invalidated by the next append that grows."""
+        return self._buf[: self._n]
+
+    def _ensure(self, extra: int) -> None:
+        need = self._n + extra
+        if need <= self._buf.shape[0]:
+            return
+        cap = self._buf.shape[0]
+        while cap < need:
+            cap *= 2
+        new = np.empty((cap, self._cols), dtype=self._buf.dtype)
+        new[: self._n] = self._buf[: self._n]
+        self._buf = new
+
+    def append(self, row) -> int:
+        """Append one row; returns its index."""
+        self._ensure(1)
+        self._buf[self._n] = row
+        self._n += 1
+        return self._n - 1
+
+    def extend(self, rows) -> int:
+        """Append multiple rows; returns the index of the first one."""
+        rows = np.asarray(rows)
+        if rows.ndim == 1:
+            rows = rows.reshape(1, -1)
+        k = rows.shape[0]
+        self._ensure(k)
+        self._buf[self._n : self._n + k] = rows
+        first = self._n
+        self._n += k
+        return first
+
+    def __getitem__(self, idx):
+        return self.data[idx]
+
+    def __setitem__(self, idx, value):
+        self.data[idx] = value
+
+
+class GrowableVector:
+    """A 1-D growable array (amortized O(1) appends, live-prefix view)."""
+
+    __slots__ = ("_buf", "_n")
+
+    def __init__(self, dtype, capacity: int = 16):
+        self._buf = np.empty(max(capacity, 1), dtype=dtype)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._buf[: self._n]
+
+    def _ensure(self, extra: int) -> None:
+        need = self._n + extra
+        if need <= self._buf.shape[0]:
+            return
+        cap = self._buf.shape[0]
+        while cap < need:
+            cap *= 2
+        new = np.empty(cap, dtype=self._buf.dtype)
+        new[: self._n] = self._buf[: self._n]
+        self._buf = new
+
+    def append(self, value) -> int:
+        self._ensure(1)
+        self._buf[self._n] = value
+        self._n += 1
+        return self._n - 1
+
+    def extend(self, values) -> int:
+        values = np.asarray(values)
+        k = values.shape[0]
+        self._ensure(k)
+        self._buf[self._n : self._n + k] = values
+        first = self._n
+        self._n += k
+        return first
+
+    def __getitem__(self, idx):
+        return self.data[idx]
+
+    def __setitem__(self, idx, value):
+        self.data[idx] = value

@@ -1,0 +1,111 @@
+"""Nested 2-D triangular mesh with incremental edge adjacency.
+
+The active leaf set is mirrored in ``_edge_elems``: a dictionary mapping each
+sorted vertex pair (edge) of the leaf mesh to the set of active leaf
+triangles containing it.  A conformal triangulation has at most two triangles
+per edge; the refinement kernel (:mod:`repro.mesh.rivara2d`) relies on this
+map for neighbor lookups during longest-edge propagation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.primitives import tri_areas
+from repro.mesh.base import SimplexMesh
+
+
+class TriMesh(SimplexMesh):
+    """Nested triangle mesh over a refinement forest (see
+    :class:`~repro.mesh.base.SimplexMesh`)."""
+
+    dim = 2
+    nodes_per_cell = 3
+
+    def __init__(self, verts, cells):
+        #: edge (sorted pair) -> set of active leaf triangle ids
+        self._edge_elems: dict = {}
+        super().__init__(verts, cells)
+        # Reject tangled input early: zero-area triangles break bisection.
+        areas = tri_areas(self.verts, self.cells)
+        if np.any(areas <= 0):
+            raise ValueError("input mesh contains degenerate (zero-area) triangles")
+
+    # -- facet adjacency -------------------------------------------------- #
+
+    @staticmethod
+    def _edges_of(cell) -> list:
+        v0, v1, v2 = cell
+        return [
+            (v1, v2) if v1 < v2 else (v2, v1),
+            (v2, v0) if v2 < v0 else (v0, v2),
+            (v0, v1) if v0 < v1 else (v1, v0),
+        ]
+
+    def _on_activate(self, eid: int) -> None:
+        for key in self._edges_of(self.cell(eid)):
+            s = self._edge_elems.get(key)
+            if s is None:
+                self._edge_elems[key] = {eid}
+            else:
+                s.add(eid)
+
+    def _on_deactivate(self, eid: int) -> None:
+        for key in self._edges_of(self.cell(eid)):
+            s = self._edge_elems[key]
+            s.discard(eid)
+            if not s:
+                del self._edge_elems[key]
+
+    def edge_elements(self, a: int, b: int) -> frozenset:
+        """Active leaf triangles containing edge ``(a, b)`` (possibly empty)."""
+        key = (a, b) if a < b else (b, a)
+        return frozenset(self._edge_elems.get(key, ()))
+
+    def neighbor_across(self, eid: int, a: int, b: int):
+        """The other active leaf across edge ``(a, b)``, or ``None`` if the
+        edge is on the boundary."""
+        key = (a, b) if a < b else (b, a)
+        s = self._edge_elems.get(key)
+        if s is None:
+            return None
+        for other in s:
+            if other != eid:
+                return other
+        return None
+
+    # -- geometry --------------------------------------------------------- #
+
+    def _compute_longest_edge(self, eid: int) -> tuple:
+        v0, v1, v2 = self.cell(eid)
+        pts = self.verts
+        pairs = ((v1, v2), (v2, v0), (v0, v1))
+        best = None
+        best_len = -1.0
+        for p, q in pairs:
+            d = pts[p] - pts[q]
+            ln = float(d[0] * d[0] + d[1] * d[1])
+            key = (p, q) if p < q else (q, p)
+            if ln > best_len * (1.0 + 1e-12):
+                best, best_len = key, ln
+            elif ln >= best_len * (1.0 - 1e-12) and key < best:
+                # exact/near tie: take the smallest vertex pair so that the
+                # two triangles sharing this edge agree on "longest"
+                best = key
+        return best
+
+    # -- validation -------------------------------------------------------- #
+
+    def _leaf_facets_with_counts(self):
+        cells = self.leaf_cells()
+        if cells.shape[0] == 0:
+            return np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.int64)
+        edges = np.concatenate(
+            [cells[:, [1, 2]], cells[:, [2, 0]], cells[:, [0, 1]]], axis=0
+        )
+        edges.sort(axis=1)
+        facets, counts = np.unique(edges, axis=0, return_counts=True)
+        return facets, counts
+
+    def leaf_areas(self) -> np.ndarray:
+        return tri_areas(self.verts, self.leaf_cells())

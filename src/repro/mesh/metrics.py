@@ -1,0 +1,116 @@
+"""Partition-quality metrics on meshes (Sections 3, 6–8).
+
+All metrics take a *leaf assignment*: an integer array, aligned with
+``mesh.leaf_ids()``, giving the processor of each leaf element of ``M^t``.
+
+* ``shared_vertex_count`` — the paper's partition-quality measure in
+  Figures 3 and 7: mesh vertices adjacent to elements in different subsets.
+* ``cut_size`` — cut edges of the fine dual graph (edge/face adjacencies
+  crossing subsets), the classic ``C_cut``.
+* ``migrated_weight`` — ``C_migrate``: number of leaf elements whose
+  assignment differs between two partitions.
+* ``processor_graph`` — the processor-connectivity graph ``H^t`` of
+  Section 8, plus its BFS distances for the migration lower bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.mesh.dualgraph import _leaf_adjacency_pairs
+
+
+def subset_weights(assignment: np.ndarray, p: int, weights=None) -> np.ndarray:
+    """Total leaf count (or ``weights``) per processor."""
+    assignment = np.asarray(assignment)
+    if weights is None:
+        weights = np.ones(assignment.shape[0])
+    return np.bincount(assignment, weights=weights, minlength=p)
+
+
+def imbalance(assignment: np.ndarray, p: int, weights=None) -> float:
+    """``max_i W_i / (W/p) - 1`` — the ε of the balance constraint."""
+    w = subset_weights(assignment, p, weights)
+    mean = w.sum() / p
+    if mean == 0:
+        return 0.0
+    return float(w.max() / mean - 1.0)
+
+
+def cut_size(mesh, assignment: np.ndarray) -> int:
+    """Number of fine dual-graph edges crossing subsets (``C_cut``)."""
+    pairs = _leaf_adjacency_pairs(mesh)
+    assignment = np.asarray(assignment)
+    return int(np.count_nonzero(assignment[pairs[:, 0]] != assignment[pairs[:, 1]]))
+
+
+def shared_vertex_count(mesh, assignment: np.ndarray) -> int:
+    """Vertices of the leaf mesh incident to elements of ≥ 2 subsets — the
+    quality metric the paper reports (communication volume on a mesh
+    partitioned by elements)."""
+    cells = mesh.leaf_cells()
+    assignment = np.asarray(assignment)
+    if cells.shape[0] == 0:
+        return 0
+    verts = cells.ravel()
+    parts = np.repeat(assignment, cells.shape[1])
+    # Count distinct partitions per vertex: sort by (vertex, part), count
+    # vertices having more than one distinct part.
+    order = np.lexsort((parts, verts))
+    v = verts[order]
+    q = parts[order]
+    new_vertex = np.empty(v.shape[0], dtype=bool)
+    new_vertex[0] = True
+    new_vertex[1:] = v[1:] != v[:-1]
+    new_pair = new_vertex.copy()
+    new_pair[1:] |= q[1:] != q[:-1]
+    # distinct (vertex, part) pairs per vertex
+    vert_of_pair = v[new_pair]
+    uniq, counts = np.unique(vert_of_pair, return_counts=True)
+    return int(np.count_nonzero(counts >= 2))
+
+
+def migrated_weight(old_assignment, new_assignment, weights=None) -> float:
+    """``C_migrate(Π, Π̂)``: total weight of elements that change processor."""
+    old = np.asarray(old_assignment)
+    new = np.asarray(new_assignment)
+    if old.shape != new.shape:
+        raise ValueError("assignments must be aligned")
+    moved = old != new
+    if weights is None:
+        return float(np.count_nonzero(moved))
+    return float(np.asarray(weights)[moved].sum())
+
+
+def processor_graph(mesh, assignment: np.ndarray, p: int) -> sp.csr_matrix:
+    """The processor-connectivity graph ``H^t`` (Section 8): one vertex per
+    processor, an edge between processors owning adjacent leaf elements.
+    Returned as a sparse boolean adjacency matrix."""
+    pairs = _leaf_adjacency_pairs(mesh)
+    assignment = np.asarray(assignment)
+    a = assignment[pairs[:, 0]]
+    b = assignment[pairs[:, 1]]
+    cross = a != b
+    rows = np.concatenate([a[cross], b[cross]])
+    cols = np.concatenate([b[cross], a[cross]])
+    data = np.ones(rows.shape[0], dtype=bool)
+    mat = sp.csr_matrix((data, (rows, cols)), shape=(p, p))
+    mat.sum_duplicates()
+    mat.data[:] = True
+    return mat
+
+
+def processor_distances(hgraph: sp.csr_matrix, source: int) -> np.ndarray:
+    """BFS hop distances ``d_{source,j}`` in ``H^t`` (np.inf if unreachable)."""
+    dist = sp.csgraph.shortest_path(
+        hgraph.astype(float), method="D", unweighted=True, indices=source
+    )
+    return dist
+
+
+def subdomain_connectivity(mesh, assignment: np.ndarray, p: int) -> np.ndarray:
+    """Number of adjacent subdomains per processor (the latency-sensitive
+    secondary cost mentioned in Section 3)."""
+    h = processor_graph(mesh, assignment, p)
+    return np.diff(h.indptr)

@@ -1,0 +1,120 @@
+"""Mesh-quality statistics.
+
+Rivara's longest-edge bisection guarantees that repeated refinement does not
+degrade element shape unboundedly (the minimum angle of any descendant is at
+least half the minimum angle of its level-0 ancestor in 2-D).  These
+reporters quantify that on live meshes: quality distributions, minimum-angle
+tracking, refinement-depth histograms, and per-level summaries — the
+quantitative backing of Figure 1's pictures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.primitives import (
+    tet_quality,
+    tri_areas,
+    tri_quality,
+)
+
+
+def leaf_quality(mesh) -> np.ndarray:
+    """Shape quality in ``(0, 1]`` of every leaf element (see
+    :func:`repro.geometry.primitives.tri_quality` / ``tet_quality``)."""
+    mesh = getattr(mesh, "mesh", mesh)
+    cells = mesh.leaf_cells()
+    if mesh.dim == 2:
+        return tri_quality(mesh.verts, cells)
+    return tet_quality(mesh.verts, cells)
+
+
+def min_angles_2d(mesh) -> np.ndarray:
+    """Minimum interior angle (radians) of each leaf triangle."""
+    mesh = getattr(mesh, "mesh", mesh)
+    if mesh.dim != 2:
+        raise ValueError("min_angles_2d needs a triangle mesh")
+    cells = mesh.leaf_cells()
+    pts = mesh.verts[cells]  # (ne, 3, 2)
+    angles = np.empty((cells.shape[0], 3))
+    for i in range(3):
+        a = pts[:, i]
+        b = pts[:, (i + 1) % 3]
+        c = pts[:, (i + 2) % 3]
+        u = b - a
+        v = c - a
+        cosang = np.einsum("ij,ij->i", u, v) / (
+            np.linalg.norm(u, axis=1) * np.linalg.norm(v, axis=1)
+        )
+        angles[:, i] = np.arccos(np.clip(cosang, -1.0, 1.0))
+    return angles.min(axis=1)
+
+
+def depth_histogram(mesh) -> np.ndarray:
+    """Leaf count per refinement depth (index = depth)."""
+    mesh = getattr(mesh, "mesh", mesh)
+    depths = mesh.forest.depth_array[mesh.leaf_ids()]
+    return np.bincount(depths)
+
+
+def quality_report(mesh) -> dict:
+    """Summary statistics of the current leaf mesh."""
+    mesh = getattr(mesh, "mesh", mesh)
+    q = leaf_quality(mesh)
+    report = {
+        "n_leaves": int(mesh.n_leaves),
+        "n_roots": int(mesh.n_roots),
+        "quality_min": float(q.min()),
+        "quality_mean": float(q.mean()),
+        "quality_p05": float(np.percentile(q, 5)),
+        "depth_max": int(mesh.forest.depth_array[mesh.leaf_ids()].max(initial=0)),
+        "depth_histogram": depth_histogram(mesh),
+    }
+    if mesh.dim == 2:
+        ang = min_angles_2d(mesh)
+        report["min_angle_deg"] = float(np.degrees(ang.min()))
+        areas = tri_areas(mesh.verts, mesh.leaf_cells())
+        report["area_ratio"] = float(areas.max() / areas.min())
+    return report
+
+
+def angle_bound_check(mesh) -> dict:
+    """Verify the 2-D Rivara guarantee numerically: every leaf's minimum
+    angle is at least half the minimum angle among the level-0 elements of
+    its tree.  Returns the measured worst ratio (≥ 0.5 expected, a little
+    slack for float arithmetic)."""
+    mesh = getattr(mesh, "mesh", mesh)
+    if mesh.dim != 2:
+        raise ValueError("the angle bound is the 2-D theory")
+    # roots' minimum angles
+    roots = np.arange(mesh.n_roots)
+    pts = mesh.verts
+    root_cells = mesh.cells[roots]
+    from repro.mesh.mesh2d import TriMesh  # noqa: F401  (doc reference)
+
+    def min_angle(cells):
+        out = np.empty(cells.shape[0])
+        p = pts[cells]
+        angs = np.empty((cells.shape[0], 3))
+        for i in range(3):
+            a = p[:, i]
+            b = p[:, (i + 1) % 3]
+            c = p[:, (i + 2) % 3]
+            u = b - a
+            v = c - a
+            cosang = np.einsum("ij,ij->i", u, v) / (
+                np.linalg.norm(u, axis=1) * np.linalg.norm(v, axis=1)
+            )
+            angs[:, i] = np.arccos(np.clip(cosang, -1, 1))
+        return angs.min(axis=1)
+
+    root_angles = min_angle(root_cells)
+    leaf_ids = mesh.leaf_ids()
+    leaf_angles = min_angle(mesh.cells[leaf_ids])
+    ancestors = mesh.forest.root_array[leaf_ids]
+    ratio = leaf_angles / root_angles[ancestors]
+    return {
+        "worst_ratio": float(ratio.min()),
+        "bound": 0.5,
+        "holds": bool(ratio.min() >= 0.5 - 1e-9),
+    }

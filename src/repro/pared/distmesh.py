@@ -1,0 +1,185 @@
+"""Distributed view of the nested mesh: replicated structure, partitioned
+ownership, explicit communication.
+
+Every rank holds a full replica of the
+:class:`~repro.mesh.adapt.AdaptiveMesh` (kept bit-identical across ranks by
+applying all structural operations in a canonical global order), plus the
+shared ownership array mapping each coarse root — hence each refinement
+tree — to a rank.  Ranks *decide* only about owned trees; decisions that
+affect other ranks' trees travel as messages:
+
+* refinement propagation requests (P0),
+* weight updates to the coordinator (P1/P2),
+* migration directives and tree payloads (P3).
+
+The replicated-apply trick keeps the simulation honest where it matters
+(what is communicated, by whom, and that parallel refinement equals serial
+refinement — the property PARED proves in [12]) without re-implementing a
+distributed mesh database in Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.adapt import AdaptiveMesh
+from repro.mesh.coarsen import coarsen as serial_coarsen
+
+
+class DistributedMesh:
+    """A rank's handle on the replicated mesh + ownership map."""
+
+    def __init__(self, comm, amesh: AdaptiveMesh, owner: np.ndarray):
+        owner = np.asarray(owner, dtype=np.int64)
+        if owner.shape[0] != amesh.n_roots:
+            raise ValueError("owner must map every coarse root")
+        if owner.size and (owner.min() < 0 or owner.max() >= comm.size):
+            raise ValueError("owner rank out of range")
+        self.comm = comm
+        self.amesh = amesh
+        self.owner = owner.copy()
+
+    # ------------------------------------------------------------------ #
+    # ownership queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    def leaf_owners(self) -> np.ndarray:
+        """Owning rank of every leaf (via its root), aligned with
+        ``leaf_ids()``."""
+        return self.owner[self.amesh.leaf_roots()]
+
+    def owned_leaf_ids(self) -> np.ndarray:
+        leaf_ids = self.amesh.leaf_ids()
+        return leaf_ids[self.leaf_owners() == self.rank]
+
+    def owned_roots(self) -> np.ndarray:
+        return np.nonzero(self.owner == self.rank)[0]
+
+    def local_load(self) -> int:
+        """Number of owned leaf elements (the rank's workload)."""
+        return int(np.count_nonzero(self.leaf_owners() == self.rank))
+
+    # ------------------------------------------------------------------ #
+    # P0: parallel adaptation
+    # ------------------------------------------------------------------ #
+
+    def _lepp_remote_targets(self, marked) -> dict:
+        """Walk the LEPP of each marked owned leaf read-only and collect the
+        path elements owned by other ranks — the refine requests the real
+        protocol would send across processor boundaries."""
+        mesh = self.amesh.mesh
+        forest = mesh.forest
+        requests: dict = {r: set() for r in range(self.comm.size)}
+        for t in marked:
+            t = int(t)
+            if not forest.is_leaf(t):
+                continue
+            # bounded read-only LEPP walk (2-D path / 3-D star frontier)
+            seen = set()
+            frontier = [t]
+            steps = 0
+            while frontier and steps < 10_000:
+                steps += 1
+                e = frontier.pop()
+                if e in seen or not forest.is_leaf(e):
+                    continue
+                seen.add(e)
+                own = self.owner[forest.root(e)]
+                if own != self.rank:
+                    requests[int(own)].add(e)
+                a, b = mesh.longest_edge(e)
+                if hasattr(mesh, "edge_star"):  # 3-D
+                    star = mesh.edge_star(a, b)
+                    nxt = [s for s in star if mesh.longest_edge(s) != (a, b)]
+                else:  # 2-D
+                    nb = mesh.neighbor_across(e, a, b)
+                    nxt = []
+                    if nb is not None and mesh.longest_edge(nb) != (a, b):
+                        nxt = [nb]
+                frontier.extend(x for x in nxt if x not in seen)
+        requests.pop(self.rank, None)
+        return {r: sorted(s) for r, s in requests.items()}
+
+    def parallel_refine(self, marked_owned) -> list:
+        """Refine the marked owned leaves with cross-rank propagation.
+
+        1. exchange refine requests along ownership boundaries,
+        2. allgather the complete target set,
+        3. apply the (deterministic) serial kernel to the union on every
+           replica.
+
+        Returns the ids of all elements bisected on this rank's replica
+        (identical across ranks).
+        """
+        comm = self.comm
+        marked_owned = [int(e) for e in marked_owned]
+        requests = self._lepp_remote_targets(marked_owned)
+        # deterministic request exchange: every rank sends to every other
+        for dst in range(comm.size):
+            if dst != comm.rank:
+                comm.send(requests.get(dst, []), dst, tag=10)
+        received: list = []
+        for src in range(comm.size):
+            if src != comm.rank:
+                received.extend(comm.recv(src, tag=10))
+        local_targets = sorted(set(marked_owned) | set(received))
+        all_targets = comm.allgather(local_targets, tag=11)
+        union = sorted(set().union(*all_targets)) if all_targets else []
+        return self.amesh.refine(union)
+
+    def parallel_coarsen(self, marked_owned) -> list:
+        """Coarsen marked owned leaves; bisection groups spanning ownership
+        boundaries are completed by the allgather union (both owners must
+        have marked their children, exactly as in the serial rule)."""
+        comm = self.comm
+        local = sorted(int(e) for e in marked_owned)
+        all_marked = comm.allgather(local, tag=12)
+        union = sorted(set().union(*all_marked)) if all_marked else []
+        merged = serial_coarsen(self.amesh.mesh, union)
+        self.amesh.time_step += 1
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # P1/P2: weight computation and reporting
+    # ------------------------------------------------------------------ #
+
+    def local_weight_update(self, prev_vwts=None) -> dict:
+        """Vertex and edge weights of ``G`` for this rank's owned roots
+        (phase P1).  Only entries that changed since ``prev_vwts`` (a dict
+        snapshot) are included — what actually travels in P2.
+
+        Edge ``(a, b)`` (with ``a < b``) is reported by the owner of ``a``.
+        """
+        from repro.mesh.dualgraph import coarse_dual_graph
+
+        graph = coarse_dual_graph(self.amesh.mesh)
+        mine = self.owner == self.rank
+        vw = {}
+        for a in np.nonzero(mine)[0]:
+            vw[int(a)] = float(graph.vwts[a])
+        ew = {}
+        for a in np.nonzero(mine)[0]:
+            lo, hi = graph.xadj[a], graph.xadj[a + 1]
+            for idx in range(lo, hi):
+                b = int(graph.adjncy[idx])
+                if a < b:
+                    ew[(int(a), b)] = float(graph.ewts[idx])
+        if prev_vwts is not None:
+            vw = {a: w for a, w in vw.items() if prev_vwts.get("v", {}).get(a) != w}
+            ew = {e: w for e, w in ew.items() if prev_vwts.get("e", {}).get(e) != w}
+        return {"v": vw, "e": ew}
+
+    def send_weights_to_coordinator(self, update: dict, coordinator: int = 0):
+        """Phase P2: ship the weight deltas to ``P_C``."""
+        if self.rank == coordinator:
+            msgs = [update]
+            for src in range(self.comm.size):
+                if src != coordinator:
+                    msgs.append(self.comm.recv(src, tag=20))
+            return msgs
+        self.comm.send(update, coordinator, tag=20)
+        return None

@@ -1,0 +1,94 @@
+"""Tree migration (the tail of phase P3, Figure 2).
+
+The coordinator computes a new assignment of coarse roots to ranks and
+turns the difference into *directives*: ``(root, src, dst)`` triples.  Each
+source rank packages the refinement tree of every directed root — all
+descendants migrate with it — and ships one aggregated message per
+destination (MPI-style message coalescing).  Receivers acknowledge by
+adopting ownership; since the mesh structure is replicated, the payload
+stands in for the element/vertex records PARED would transfer, and its
+pickled size is what the traffic statistics count.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+
+def migration_directives(old_owner: np.ndarray, new_owner: np.ndarray) -> list:
+    """``(root, src, dst)`` for every root whose owner changes."""
+    old_owner = np.asarray(old_owner)
+    new_owner = np.asarray(new_owner)
+    moved = np.nonzero(old_owner != new_owner)[0]
+    return [(int(r), int(old_owner[r]), int(new_owner[r])) for r in moved]
+
+
+def _tree_payload(mesh, root: int) -> dict:
+    """The data that migrates with a tree: every node of the subtree with
+    its connectivity, plus the leaf list (what the solver works on)."""
+    forest = mesh.forest
+    nodes = []
+    stack = [root]
+    while stack:
+        e = stack.pop()
+        nodes.append((e, mesh.cell(e)))
+        kids = forest.children(e)
+        if kids is not None:
+            stack.extend(kids)
+    return {
+        "root": root,
+        "nodes": nodes,
+        "leaves": forest.subtree_leaves(root),
+    }
+
+
+def execute_migration(comm, dmesh, new_owner: np.ndarray, coordinator: int = 0) -> dict:
+    """Carry out phase P3's moves on every rank.
+
+    The coordinator broadcasts the new ownership; each source rank sends the
+    tree payloads it owes, aggregated per destination; each destination
+    receives them.  Every rank then installs the new ownership map.
+
+    Returns accounting: trees moved, leaf elements moved, and (on this
+    rank) how many trees were sent/received.
+    """
+    new_owner = comm.bcast(
+        np.asarray(new_owner, dtype=np.int64) if comm.rank == coordinator else None,
+        root=coordinator,
+        tag=30,
+    )
+    directives = migration_directives(dmesh.owner, new_owner)
+    mesh = dmesh.amesh.mesh
+
+    by_src_dst = defaultdict(list)
+    for root, src, dst in directives:
+        by_src_dst[(src, dst)].append(root)
+
+    sent = received = 0
+    # Deterministic exchange: every ordered pair communicates (possibly an
+    # empty list), so no rank blocks on a message that never comes.
+    for dst in range(comm.size):
+        if dst == comm.rank:
+            continue
+        roots = by_src_dst.get((comm.rank, dst), [])
+        payload = [_tree_payload(mesh, r) for r in roots]
+        comm.send(payload, dst, tag=31)
+        sent += len(payload)
+    for src in range(comm.size):
+        if src == comm.rank:
+            continue
+        payload = comm.recv(src, tag=31)
+        received += len(payload)
+
+    dmesh.owner = new_owner.copy()
+
+    leaf_counts = mesh.forest.leaf_counts_by_root()
+    moved_elements = int(sum(leaf_counts[r] for r, _, _ in directives))
+    return {
+        "trees_moved": len(directives),
+        "elements_moved": moved_elements,
+        "sent_here": sent,
+        "received_here": received,
+    }

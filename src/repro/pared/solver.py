@@ -1,0 +1,139 @@
+"""Distributed FEM solve over the PARED ownership map.
+
+PARED's round begins by *solving the PDE in parallel*: each processor
+assembles the stiffness contributions of its owned elements and the global
+system is solved with conjugate gradients, communicating only
+
+* **halo accumulation** — after every local mat-vec, contributions at
+  *shared* vertices (vertices touched by elements of several ranks — the
+  very quantity the paper's partition metric counts) are exchanged with the
+  neighboring ranks and summed;
+* **reductions** — the CG scalars (dots, norms) via ``allreduce``.
+
+So the communication volume per iteration is exactly proportional to the
+shared-vertex count, which is why the paper uses it as the partition-quality
+measure — the bench A3 can observe that directly.
+
+The mesh structure is replicated (see :mod:`repro.pared.distmesh`), but the
+solver touches only owned-element data and exchanges everything else, so
+the message pattern is the real one.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.fem.bc import apply_dirichlet  # noqa: F401  (re-exported convenience)
+from repro.fem.p1 import load_vector, stiffness_matrix
+
+
+class DistributedPoissonSolver:
+    """CG solve of ``-Δu = f`` with Dirichlet data over a
+    :class:`~repro.pared.distmesh.DistributedMesh`."""
+
+    def __init__(self, dmesh):
+        self.dmesh = dmesh
+        self.comm = dmesh.comm
+        self._setup()
+
+    # ------------------------------------------------------------------ #
+
+    def _setup(self) -> None:
+        from repro.pared.halo import vertex_exchange_lists, vertex_touchers
+
+        mesh = self.dmesh.amesh.mesh
+        comm = self.comm
+        rank = comm.rank
+        owners = self.dmesh.leaf_owners()
+        cells = mesh.leaf_cells()
+        mine = owners == rank
+        self.owned_cells = cells[mine]
+        self.nv = mesh.n_verts
+
+        # halo analysis: which ranks touch each vertex, and the per-pair
+        # shared-vertex exchange lists (sorted on both sides)
+        touch = vertex_touchers(mesh, owners)
+        self.touched = np.array(
+            sorted(v for v, rs in touch.items() if rank in rs), dtype=np.int64
+        )
+        #: authoritative owner of each touched vertex: the smallest rank
+        self.owned_verts = np.array(
+            [v for v in self.touched if min(touch[v]) == rank], dtype=np.int64
+        )
+        self.shared_with = vertex_exchange_lists(mesh, owners, rank)
+
+        self.A_local = stiffness_matrix(mesh.verts, self.owned_cells)
+        self.bc_nodes = mesh.boundary_vertices()
+        self._bc_mask = np.zeros(self.nv, dtype=bool)
+        self._bc_mask[self.bc_nodes] = True
+
+    # ------------------------------------------------------------------ #
+
+    def _exchange_add(self, y: np.ndarray, tag: int) -> None:
+        """Accumulate shared-vertex contributions with every neighbor."""
+        comm = self.comm
+        for q in sorted(self.shared_with):
+            comm.send(y[self.shared_with[q]], q, tag=tag)
+        for q in sorted(self.shared_with):
+            incoming = comm.recv(q, tag=tag)
+            y[self.shared_with[q]] += incoming
+
+    def _matvec(self, x: np.ndarray, tag: int) -> np.ndarray:
+        y = self.A_local @ x
+        self._exchange_add(y, tag)
+        # Dirichlet rows act as identity
+        y[self._bc_mask] = x[self._bc_mask]
+        return y
+
+    def _dot(self, a: np.ndarray, b: np.ndarray) -> float:
+        local = float(a[self.owned_verts] @ b[self.owned_verts])
+        return float(self.comm.allreduce(local))
+
+    # ------------------------------------------------------------------ #
+
+    def solve(self, f=None, g=None, rtol: float = 1e-8, maxiter: int = 2000):
+        """Distributed CG; returns ``(u, iterations)`` with the full nodal
+        vector (identical on every rank)."""
+        mesh = self.dmesh.amesh.mesh
+        comm = self.comm
+        verts = mesh.verts
+
+        # assembled RHS: local loads accumulated at shared vertices
+        if f is None:
+            b = np.zeros(self.nv)
+        else:
+            b = load_vector(verts, self.owned_cells, f)
+        self._exchange_add(b, tag=70)
+        u = np.zeros(self.nv)
+        if g is not None and self.bc_nodes.size:
+            u[self.bc_nodes] = np.asarray(g(verts[self.bc_nodes]))
+        b[self._bc_mask] = u[self._bc_mask]
+
+        r = b - self._matvec(u, tag=71)
+        r[self._bc_mask] = 0.0
+        p = r.copy()
+        rs = self._dot(r, r)
+        rs0 = max(rs, 1e-300)
+        it = 0
+        while it < maxiter and rs > rtol * rtol * rs0:
+            Ap = self._matvec(p, tag=72 + (it % 7))
+            Ap[self._bc_mask] = 0.0
+            alpha = rs / max(self._dot(p, Ap), 1e-300)
+            u = u + alpha * p
+            r = r - alpha * Ap
+            rs_new = self._dot(r, r)
+            p = r + (rs_new / max(rs, 1e-300)) * p
+            rs = rs_new
+            it += 1
+
+        # make the full solution available everywhere (post-processing)
+        mine = {int(v): float(u[v]) for v in self.owned_verts}
+        all_vals = comm.allgather(mine, tag=79)
+        full = np.zeros(self.nv)
+        for chunk in all_vals:
+            for v, val in chunk.items():
+                full[v] = val
+        full[self._bc_mask] = u[self._bc_mask]
+        return full, it

@@ -1,0 +1,191 @@
+"""The PARED driver: the solve→estimate→adapt→repartition→migrate loop of
+Section 2, run SPMD over the simulated runtime.
+
+``run_pared`` launches ``p`` ranks.  Rank ``coordinator`` plays ``P_C``: it
+computes the initial partition of the coarse dual graph, maintains ``G``
+from the weight deltas of phases P1/P2, repartitions it when the measured
+imbalance exceeds the trigger, and directs tree migrations (P3).  All other
+phases run symmetrically on every rank.
+
+The coordinator's copy of ``G`` is assembled *only* from P2 messages — it
+never peeks at the replica — so the test-suite can verify the distributed
+weight protocol against the directly computed dual graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.pnr import PNR
+from repro.core.repartition_kl import multilevel_repartition
+from repro.graph.csr import WeightedGraph
+from repro.mesh.adapt import AdaptiveMesh
+from repro.mesh.dualgraph import coarse_dual_graph, leaf_assignment_from_roots
+from repro.mesh.metrics import cut_size, shared_vertex_count
+from repro.pared.distmesh import DistributedMesh
+from repro.pared.migrate import execute_migration
+from repro.partition.multilevel import multilevel_partition
+from repro.runtime.simmpi import spmd_run
+
+
+@dataclass
+class ParedConfig:
+    """Configuration of a PARED run.
+
+    Attributes
+    ----------
+    p:
+        Number of ranks.
+    make_mesh:
+        Factory returning the initial :class:`AdaptiveMesh` (called once per
+        rank; must be deterministic so replicas agree).
+    marker:
+        ``marker(amesh, round) -> (refine_leaf_ids, coarsen_leaf_ids)``.
+        Conceptually each rank evaluates it on owned leaves; determinism
+        lets every rank call it on the replica and keep only owned ids.
+    rounds:
+        Number of adapt/repartition rounds.
+    pnr:
+        The repartitioner (Equation 1 parameters).
+    imbalance_trigger:
+        Repartition only when the coordinator's measured imbalance exceeds
+        this (the paper's "user-supplied workload imbalance").
+    coordinator:
+        Rank playing ``P_C``.
+    """
+
+    p: int
+    make_mesh: Callable[[], AdaptiveMesh]
+    marker: Callable
+    rounds: int = 4
+    pnr: PNR = field(default_factory=PNR)
+    imbalance_trigger: float = 0.05
+    coordinator: int = 0
+
+
+class _CoordinatorGraph:
+    """P_C's view of ``G``, built purely from P2 weight messages."""
+
+    def __init__(self, n_roots: int):
+        self.n = n_roots
+        self.vwts = np.zeros(n_roots)
+        self.edges = {}
+
+    def merge(self, messages) -> None:
+        for msg in messages:
+            for a, w in msg["v"].items():
+                self.vwts[a] = w
+            for e, w in msg["e"].items():
+                self.edges[e] = w
+
+    def graph(self) -> WeightedGraph:
+        if self.edges:
+            edges = np.array(list(self.edges.keys()), dtype=np.int64)
+            ewts = np.array(list(self.edges.values()))
+        else:
+            edges = np.empty((0, 2), dtype=np.int64)
+            ewts = np.empty(0)
+        return WeightedGraph.from_edges(self.n, edges, ewts, self.vwts.copy())
+
+
+def _diff_update(full: dict, prev: Optional[dict]) -> dict:
+    if prev is None:
+        return full
+    return {
+        "v": {a: w for a, w in full["v"].items() if prev["v"].get(a) != w},
+        "e": {e: w for e, w in full["e"].items() if prev["e"].get(e) != w},
+    }
+
+
+def _pared_rank(comm, cfg: ParedConfig):
+    C = cfg.coordinator
+    amesh = cfg.make_mesh()
+
+    # initial partition at the coordinator (the mesh "is loaded into P_C")
+    comm.set_phase("P3")
+    if comm.rank == C:
+        graph0 = coarse_dual_graph(amesh.mesh)
+        owner0 = multilevel_partition(graph0, comm.size, seed=cfg.pnr.seed)
+    else:
+        owner0 = None
+    owner = comm.bcast(owner0, root=C, tag=40)
+    dmesh = DistributedMesh(comm, amesh, owner)
+
+    coord_graph = _CoordinatorGraph(amesh.n_roots) if comm.rank == C else None
+    prev_full: Optional[dict] = None
+    history = []
+
+    for rnd in range(cfg.rounds):
+        # ---- P0: adapt ------------------------------------------------ #
+        comm.set_phase("P0")
+        refine_ids, coarsen_ids = cfg.marker(amesh, rnd)
+        owned = set(int(e) for e in dmesh.owned_leaf_ids())
+        my_refine = [e for e in refine_ids if int(e) in owned]
+        dmesh.parallel_refine(my_refine)
+        owned = set(int(e) for e in dmesh.owned_leaf_ids())
+        my_coarsen = [e for e in coarsen_ids if int(e) in owned]
+        dmesh.parallel_coarsen(my_coarsen)
+
+        # ---- P1: local weights ---------------------------------------- #
+        comm.set_phase("P1")
+        full = dmesh.local_weight_update(None)
+        delta = _diff_update(full, prev_full)
+        prev_full = full
+
+        # ---- P2: ship to coordinator ---------------------------------- #
+        comm.set_phase("P2")
+        msgs = dmesh.send_weights_to_coordinator(delta, C)
+
+        # ---- P3: repartition & migrate -------------------------------- #
+        comm.set_phase("P3")
+        if comm.rank == C:
+            coord_graph.merge(msgs)
+            graph = coord_graph.graph()
+            loads = np.bincount(dmesh.owner, weights=graph.vwts, minlength=comm.size)
+            mean = loads.sum() / comm.size
+            imb = float(loads.max() / mean - 1.0) if mean else 0.0
+            if imb > cfg.imbalance_trigger:
+                new_owner = multilevel_repartition(
+                    graph,
+                    comm.size,
+                    dmesh.owner,
+                    alpha=cfg.pnr.alpha,
+                    beta=cfg.pnr.beta,
+                    seed=cfg.pnr.seed,
+                    balance_tol=cfg.pnr.balance_tol,
+                )
+            else:
+                new_owner = dmesh.owner.copy()
+        else:
+            new_owner = None
+            imb = None
+        old_owner = dmesh.owner.copy()
+        mig = execute_migration(comm, dmesh, new_owner, coordinator=C)
+
+        # ---- metrics (identical on every replica) ---------------------- #
+        fine = leaf_assignment_from_roots(amesh.mesh, dmesh.owner)
+        history.append(
+            {
+                "round": rnd,
+                "leaves": amesh.n_leaves,
+                "cut": cut_size(amesh.mesh, fine),
+                "shared_vertices": shared_vertex_count(amesh.mesh, fine),
+                "elements_moved": mig["elements_moved"],
+                "trees_moved": mig["trees_moved"],
+                "imbalance_before": imb,
+                "local_load": dmesh.local_load(),
+                "owner": dmesh.owner.copy(),
+                "old_owner": old_owner,
+            }
+        )
+    return history
+
+
+def run_pared(cfg: ParedConfig):
+    """Run the PARED loop; returns ``(histories, traffic_stats)`` where
+    ``histories[r]`` is rank ``r``'s per-round record list (replica metrics
+    agree across ranks; ``local_load`` differs)."""
+    return spmd_run(cfg.p, _pared_rank, cfg, return_stats=True)

@@ -1,0 +1,60 @@
+"""Graph partitioners and partition metrics.
+
+The *standard* partitioning algorithms the paper compares against:
+
+* :func:`~repro.partition.spectral.recursive_spectral_bisection` — RSB
+  [Pothen/Simon/Liou 1990], Chaco's reference method.
+* :func:`~repro.partition.multilevel.multilevel_partition` — Multilevel-KL
+  [Hendrickson & Leland 1993], contraction + coarse partition + KL
+  projection refinement.
+* :func:`~repro.partition.geometric.recursive_coordinate_bisection` —
+  geometric baseline [Miller et al. 1993].
+
+Plus the pieces they share: the p-way Kernighan–Lin refinement engine
+(:mod:`repro.partition.kl`, also the host of PNR's modified gain function),
+greedy graph growing for coarsest-level partitions, the Biswas–Oliker
+subset permutation that minimizes data movement [5], and partition metrics.
+"""
+
+from repro.partition.metrics import (
+    graph_cut,
+    graph_subset_weights,
+    graph_imbalance,
+    graph_migration,
+    partition_targets,
+    validate_assignment,
+)
+from repro.partition.kl import KLConfig, kl_refine
+from repro.partition.spectral import recursive_spectral_bisection, spectral_bisect
+from repro.partition.geometric import recursive_coordinate_bisection
+from repro.partition.greedy import greedy_graph_growing
+from repro.partition.multilevel import multilevel_partition
+from repro.partition.permute import minimize_migration_permutation, apply_permutation
+from repro.partition.inertial import inertial_bisection
+from repro.partition.connectivity import (
+    connectivity_report,
+    repair_disconnected,
+    subset_components,
+)
+
+__all__ = [
+    "graph_cut",
+    "graph_subset_weights",
+    "graph_imbalance",
+    "graph_migration",
+    "partition_targets",
+    "validate_assignment",
+    "KLConfig",
+    "kl_refine",
+    "recursive_spectral_bisection",
+    "spectral_bisect",
+    "recursive_coordinate_bisection",
+    "greedy_graph_growing",
+    "multilevel_partition",
+    "minimize_migration_permutation",
+    "apply_permutation",
+    "inertial_bisection",
+    "connectivity_report",
+    "repair_disconnected",
+    "subset_components",
+]

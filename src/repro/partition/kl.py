@@ -1,0 +1,316 @@
+"""p-way Kernighan–Lin refinement with pluggable repartitioning gains.
+
+This single engine hosts both of the paper's KL variants:
+
+* the *standard* multiprocessor KL used inside Multilevel-KL, whose gain
+  measures the change in cut size while a hard envelope maintains balance
+  (``alpha = 0``, no ``home``);
+* PNR's *repartitioning* KL (Section 9), whose gain reflects the full
+  objective of Equation 1,
+
+  ``C_repartition(Π^t, Π̂^t, α, β) = C_cut(Π̂) + α·C_migrate(Π, Π̂) + β·C_balance(Π̂)``
+
+  obtained by passing ``alpha``, ``beta`` and the current assignment as
+  ``home``.
+
+Implementation notes
+--------------------
+The paper maintains a square table of per-subset-pair priority queues of
+moves, popping the best head.  We keep one global heap of candidate moves
+with *lazy invalidation*: the heap stores the move's cut+migration gain
+(static while the vertex stays put and its neighborhood is unchanged); on
+pop the entry is revalidated against a freshly computed static gain, and
+the weight-dependent balance gain (which shifts with every move — the
+"rebuilding priority queues" cost the paper notes) is added at pop time.
+A small look-ahead window re-ranks the top candidates by their *full* gain
+so balance-driven moves surface even when their static gain is modest.
+
+Each pass performs KL hill-climbing with rollback: moves are applied even
+when individually negative, cumulative gain is tracked, and at pass end the
+suffix after the best prefix is undone.  Passes repeat while they improve
+the composite objective.
+
+Only *boundary* vertices (those with an edge into another subset) are
+candidates, as in the paper ("n, the number of boundary elements in a
+subdomain").  Moving a vertex can promote its neighbors to the boundary;
+they are inserted on the fly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import WeightedGraph
+from repro.partition.metrics import validate_assignment
+
+
+@dataclass
+class KLConfig:
+    """Tuning knobs of the KL engine.
+
+    Attributes
+    ----------
+    alpha:
+        Weight of the migration term (Equation 1); requires ``home``.
+    beta:
+        Weight of the quadratic balance term.
+    balance_tol:
+        Hard envelope ε: a move into subset ``j`` is admissible only if it
+        leaves ``W_j ≤ (1+ε)·W̄`` *or* strictly reduces the pairwise maximum
+        (so rebalancing from a badly unbalanced start is always possible).
+    max_passes:
+        Upper bound on KL passes.
+    window:
+        Look-ahead width when re-ranking heap candidates by full gain.
+    min_gain:
+        A pass must improve the objective by more than this to continue.
+    balance_mode:
+        ``"quadratic"`` — the literal ``Σ(W_i − W̄)²`` of Equation 1;
+        ``"deadband"`` — quadratic on the *excess outside* the
+        ``(1±balance_tol)·W̄`` envelope, zero inside it.  The deadband form
+        expresses the same constraint ("balanced within ε") without paying
+        migration for micro-balancing churn between already-balanced
+        subsets, which matters when ``alpha > 0``.
+    """
+
+    alpha: float = 0.0
+    beta: float = 0.0
+    balance_tol: float = 0.05
+    max_passes: int = 10
+    window: int = 8
+    min_gain: float = 1e-9
+    balance_mode: str = "quadratic"
+
+
+class _KLState:
+    """Mutable state shared by the passes of one kl_refine call."""
+
+    __slots__ = (
+        "graph", "p", "assign", "home", "cfg", "weights", "mean", "maxcap",
+        "band", "xadj", "adjncy", "ewts", "vwts",
+    )
+
+    def __init__(self, graph, p, assign, home, cfg):
+        self.graph = graph
+        self.p = p
+        self.assign = assign
+        self.home = home
+        self.cfg = cfg
+        self.vwts = graph.vwts
+        self.weights = np.bincount(assign, weights=graph.vwts, minlength=p)
+        self.mean = self.weights.sum() / p
+        # The balance envelope cannot be tighter than the vertex-weight
+        # granularity: with indivisible trees of weight up to w_max, subset
+        # weights are only controllable to ~w_max/2.  Chasing a tighter
+        # band would churn migration without ever converging.
+        wmax = float(self.vwts.max()) if self.vwts.size else 0.0
+        self.band = max(cfg.balance_tol * self.mean, 0.5 * wmax)
+        self.maxcap = self.mean + self.band
+        self.xadj = graph.xadj
+        self.adjncy = graph.adjncy
+        self.ewts = graph.ewts
+
+    # -- gain components ------------------------------------------------- #
+
+    def conn(self, v: int):
+        """Connectivity of ``v``: dict subset -> total edge weight."""
+        out = {}
+        lo, hi = self.xadj[v], self.xadj[v + 1]
+        assign = self.assign
+        for idx in range(lo, hi):
+            s = assign[self.adjncy[idx]]
+            out[s] = out.get(s, 0.0) + self.ewts[idx]
+        return out
+
+    def static_gain(self, v: int, j: int, conn=None) -> float:
+        """Cut + migration gain of moving ``v`` from its current subset to
+        ``j`` (independent of subset weights)."""
+        i = self.assign[v]
+        if conn is None:
+            conn = self.conn(v)
+        g = conn.get(j, 0.0) - conn.get(i, 0.0)
+        if self.home is not None and self.cfg.alpha:
+            w = self.vwts[v]
+            h = self.home[v]
+            dmig = (1.0 if j != h else 0.0) - (1.0 if i != h else 0.0)
+            g -= self.cfg.alpha * w * dmig
+        return float(g)
+
+    def _phi(self, W: float) -> float:
+        """Per-subset balance penalty at weight ``W`` for the active mode."""
+        if self.cfg.balance_mode == "deadband":
+            cap = self.maxcap
+            floor = self.mean - self.band
+            over = W - cap
+            under = floor - W
+            out = 0.0
+            if over > 0:
+                out += over * over
+            if under > 0:
+                out += under * under
+            return out
+        d = W - self.mean
+        return d * d
+
+    def balance_gain(self, v: int, j: int) -> float:
+        """−β·ΔC_balance for moving ``v`` to ``j`` at current weights
+        (``2βw(W_i − W_j − w)`` in the quadratic mode)."""
+        if not self.cfg.beta:
+            return 0.0
+        i = self.assign[v]
+        w = self.vwts[v]
+        Wi, Wj = self.weights[i], self.weights[j]
+        before = self._phi(Wi) + self._phi(Wj)
+        after = self._phi(Wi - w) + self._phi(Wj + w)
+        return self.cfg.beta * (before - after)
+
+    def admissible(self, v: int, j: int) -> bool:
+        """Hard balance envelope (see :class:`KLConfig`)."""
+        i = self.assign[v]
+        w = self.vwts[v]
+        wj_after = self.weights[j] + w
+        return wj_after <= self.maxcap or wj_after <= self.weights[i]
+
+    def apply(self, v: int, j: int) -> int:
+        """Move ``v`` to ``j``; returns its previous subset."""
+        i = int(self.assign[v])
+        w = self.vwts[v]
+        self.assign[v] = j
+        self.weights[i] -= w
+        self.weights[j] += w
+        return i
+
+
+def _push_vertex(state: _KLState, heap, locked, v: int, counter) -> None:
+    """Insert heap entries for every candidate destination of ``v``.
+
+    Destinations are the subsets adjacent to ``v``; when the balance term is
+    active, the globally lightest subset is also offered, so starved or even
+    *empty* subsets (which no vertex is adjacent to) can be re-seeded — the
+    balance gain decides whether such a teleport is worth its cut cost.
+    """
+    if locked[v]:
+        return
+    conn = state.conn(v)
+    i = state.assign[v]
+    dests = set(conn)
+    if state.cfg.beta:
+        dests.add(int(np.argmin(state.weights)))
+    for j in dests:
+        if j == i:
+            continue
+        g = state.static_gain(v, j, conn)
+        heapq.heappush(heap, (-g, next(counter), int(v), int(j), g))
+
+
+def _kl_pass(state: _KLState) -> float:
+    """One KL pass with rollback; returns the objective improvement kept."""
+    import itertools
+
+    graph = state.graph
+    n = graph.n_vertices
+    assign = state.assign
+    locked = np.zeros(n, dtype=bool)
+    counter = itertools.count()
+    heap: list = []
+
+    # Seed with the current boundary.
+    src = np.repeat(np.arange(n), np.diff(state.xadj))
+    cross = assign[src] != assign[state.adjncy]
+    boundary = np.unique(src[cross])
+    # Under heavy imbalance the boundary alone may not free enough weight;
+    # also seed every vertex of overweight subsets when beta is active.
+    if state.cfg.beta:
+        over = np.nonzero(state.weights > state.maxcap)[0]
+        if over.size:
+            extra = np.nonzero(np.isin(assign, over))[0]
+            boundary = np.union1d(boundary, extra)
+    for v in boundary:
+        _push_vertex(state, heap, locked, int(v), counter)
+
+    moves: list = []  # (v, from_subset)
+    cum = 0.0
+    best_cum = 0.0
+    best_len = 0
+
+    while heap:
+        # Look-ahead window: pop up to `window` valid entries, take the one
+        # with the best *full* gain, push the rest back.
+        window: list = []
+        while heap and len(window) < state.cfg.window:
+            negg, _, v, j, g_stored = heapq.heappop(heap)
+            if locked[v]:
+                continue
+            g_now = state.static_gain(v, j)
+            if abs(g_now - g_stored) > 1e-12:
+                # stale: reinsert with the corrected key
+                heapq.heappush(heap, (-g_now, next(counter), v, j, g_now))
+                continue
+            if not state.admissible(v, j):
+                continue
+            window.append((g_now + state.balance_gain(v, j), v, j, g_now))
+        if not window:
+            break
+        window.sort(key=lambda t: -t[0])
+        full, v, j, g_stat = window[0]
+        for w_full, wv, wj, wg in window[1:]:
+            heapq.heappush(heap, (-wg, next(counter), wv, wj, wg))
+
+        i = state.apply(v, j)
+        locked[v] = True
+        moves.append((v, i))
+        cum += full
+        if cum > best_cum + state.cfg.min_gain:
+            best_cum = cum
+            best_len = len(moves)
+
+        # Neighbors' connectivity changed; refresh their candidate entries.
+        lo, hi = state.xadj[v], state.xadj[v + 1]
+        for idx in range(lo, hi):
+            u = int(state.adjncy[idx])
+            if not locked[u]:
+                _push_vertex(state, heap, locked, u, counter)
+
+    # Roll back the suffix after the best prefix.
+    for v, i in reversed(moves[best_len:]):
+        state.apply(v, int(i))
+    return best_cum
+
+
+def kl_refine(
+    graph: WeightedGraph,
+    assignment,
+    p: int,
+    home=None,
+    config: KLConfig = None,
+) -> np.ndarray:
+    """Refine ``assignment`` in place-semantics-free fashion (a copy is
+    returned) using p-way KL with the configured gain function.
+
+    Parameters
+    ----------
+    graph:
+        The (possibly contracted) dual graph.
+    assignment:
+        Current subset per vertex — the starting point of hill climbing.
+    p:
+        Number of subsets.
+    home:
+        The pre-repartitioning assignment ``Π^t`` used by the migration term
+        (``None`` disables it regardless of ``alpha``).
+    config:
+        :class:`KLConfig`; defaults to the standard cut+hard-balance KL.
+    """
+    cfg = config or KLConfig()
+    assign = validate_assignment(graph, assignment, p).copy()
+    if home is not None:
+        home = validate_assignment(graph, home, p)
+    state = _KLState(graph, p, assign, home, cfg)
+    for _ in range(cfg.max_passes):
+        improved = _kl_pass(state)
+        if improved <= cfg.min_gain:
+            break
+    return state.assign

@@ -1,0 +1,39 @@
+"""Simulated distributed-memory runtime.
+
+mpi4py is the natural backend for PARED's communication, but the algorithms
+under study are defined by their *communication structure* — who sends what
+to whom in phases P0–P3 — not by the wall-clock of a particular
+interconnect.  :class:`~repro.runtime.simmpi.SimComm` provides an
+mpi4py-flavoured API (``send``/``recv``/``bcast``/``gather``/``scatter``/
+``allgather``/``allreduce``/``barrier``) over in-process threads and queues,
+with full per-phase traffic accounting
+(:class:`~repro.runtime.stats.TrafficStats`), so every experiment reports
+exact message and byte counts deterministically.
+"""
+
+from repro.runtime.simmpi import Request, SimComm, spmd_run
+from repro.runtime.stats import TrafficStats, PhaseTimer
+from repro.runtime.costmodel import (
+    IBM_SP,
+    MODERN_HPC,
+    NOW_ETHERNET,
+    PROFILES,
+    NetworkProfile,
+    compare_profiles,
+    estimate_phase_times,
+)
+
+__all__ = [
+    "SimComm",
+    "Request",
+    "spmd_run",
+    "TrafficStats",
+    "PhaseTimer",
+    "NetworkProfile",
+    "IBM_SP",
+    "NOW_ETHERNET",
+    "MODERN_HPC",
+    "PROFILES",
+    "estimate_phase_times",
+    "compare_profiles",
+]

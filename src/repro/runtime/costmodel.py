@@ -1,0 +1,60 @@
+"""Communication cost model: synthetic time from traffic statistics.
+
+The paper's motivation is that "the time to migrate data can be a large
+fraction of the total time" on distributed-memory machines.  The simulated
+runtime counts messages and bytes exactly; this model converts them into
+estimated wall time with the standard latency/bandwidth (α–β) model
+
+    ``t(message of s bytes) = latency + s / bandwidth``
+
+so per-phase communication *time* estimates can be reported for different
+machine profiles.  Presets approximate the paper's platforms and a modern
+one for contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.stats import TrafficStats
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """α–β network parameters."""
+
+    name: str
+    latency_s: float  #: per-message latency (seconds)
+    bandwidth_Bps: float  #: bytes per second
+
+    def message_time(self, nbytes: int) -> float:
+        return self.latency_s + nbytes / self.bandwidth_Bps
+
+
+#: circa-2000 IBM SP switch (≈ 25 µs latency, ≈ 130 MB/s)
+IBM_SP = NetworkProfile("IBM-SP", 25e-6, 130e6)
+#: network of workstations over fast Ethernet (≈ 100 µs, ≈ 10 MB/s)
+NOW_ETHERNET = NetworkProfile("NOW-Ethernet", 100e-6, 10e6)
+#: a modern HPC interconnect for contrast (≈ 1.5 µs, ≈ 12 GB/s)
+MODERN_HPC = NetworkProfile("Modern-HPC", 1.5e-6, 12e9)
+
+PROFILES = {p.name: p for p in (IBM_SP, NOW_ETHERNET, MODERN_HPC)}
+
+
+def estimate_phase_times(stats: TrafficStats, profile: NetworkProfile) -> dict:
+    """Estimated communication seconds per phase.
+
+    Uses the per-phase aggregate (messages, bytes); since the α–β model is
+    linear, the aggregate equals the sum over individual messages.
+    """
+    out = {}
+    for phase, (msgs, nbytes) in stats.phase_report().items():
+        out[phase] = msgs * profile.latency_s + nbytes / profile.bandwidth_Bps
+    return out
+
+
+def compare_profiles(stats: TrafficStats, profiles=None) -> dict:
+    """``{profile name: {phase: seconds}}`` across machine profiles."""
+    if profiles is None:
+        profiles = PROFILES.values()
+    return {p.name: estimate_phase_times(stats, p) for p in profiles}

@@ -1,0 +1,275 @@
+"""In-process message-passing runtime with an mpi4py-flavoured API.
+
+``spmd_run(p, fn, ...)`` launches ``p`` ranks, each running ``fn(comm,
+...)`` on its own thread; ranks communicate only through their
+:class:`SimComm`, which provides blocking point-to-point ``send``/``recv``
+(tag-matched, per-pair FIFO order) and the collectives PARED uses
+(``bcast``, ``gather``, ``scatter``, ``allgather``, ``allreduce``,
+``barrier``).  Payload sizes are measured by pickling — the same wire format
+mpi4py's lowercase API uses — and recorded per phase in a shared
+:class:`~repro.runtime.stats.TrafficStats`.
+
+Error containment: an exception on any rank cancels the run and is re-raised
+in the caller (with the originating rank), instead of deadlocking the other
+ranks; their pending ``recv`` calls raise :class:`SimMPIAborted`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import threading
+
+from repro.runtime.stats import TrafficStats
+
+_DEFAULT_TIMEOUT = 120.0
+
+
+class SimMPIAborted(RuntimeError):
+    """Another rank failed; this rank's pending communication is void."""
+
+
+class _Shared:
+    """State shared by all ranks of one spmd_run."""
+
+    def __init__(self, size: int):
+        self.size = size
+        # one FIFO per ordered pair keeps per-pair ordering MPI-like
+        self.queues = {
+            (s, d): queue.Queue() for s in range(size) for d in range(size)
+        }
+        self.stats = TrafficStats()
+        self.abort = threading.Event()
+        self.barrier = threading.Barrier(size)
+
+
+class Request:
+    """Handle of a nonblocking operation (mpi4py's ``isend``/``irecv``)."""
+
+    __slots__ = ("_fn", "_done", "_value")
+
+    def __init__(self, fn):
+        self._fn = fn
+        self._done = False
+        self._value = None
+
+    def wait(self, timeout: float = _DEFAULT_TIMEOUT):
+        """Complete the operation; returns the received object for
+        ``irecv`` requests, ``None`` for ``isend``."""
+        if not self._done:
+            self._value = self._fn(timeout)
+            self._done = True
+        return self._value
+
+    def test(self):
+        """``(done, value)`` without blocking (best-effort: tries with a
+        tiny timeout)."""
+        if self._done:
+            return True, self._value
+        try:
+            self._value = self._fn(0.05)
+            self._done = True
+            return True, self._value
+        except TimeoutError:
+            return False, None
+
+
+class SimComm:
+    """Per-rank communicator handle."""
+
+    def __init__(self, shared: _Shared, rank: int):
+        self._shared = shared
+        self.rank = rank
+        self.size = shared.size
+        self.phase = "default"
+        # out-of-order tag buffer per source
+        self._stash = {}
+
+    # ------------------------------------------------------------------ #
+    # phases
+    # ------------------------------------------------------------------ #
+
+    def set_phase(self, phase: str) -> None:
+        """Label subsequent traffic with the given phase (P0..P3 in PARED)."""
+        self.phase = phase
+
+    @property
+    def stats(self) -> TrafficStats:
+        return self._shared.stats
+
+    # ------------------------------------------------------------------ #
+    # point to point
+    # ------------------------------------------------------------------ #
+
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        """Send a picklable object to ``dest`` (non-blocking, buffered)."""
+        if self._shared.abort.is_set():
+            raise SimMPIAborted("run aborted")
+        if not (0 <= dest < self.size):
+            raise ValueError(f"invalid dest {dest}")
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self._shared.stats.record(self.rank, dest, len(payload), self.phase)
+        self._shared.queues[(self.rank, dest)].put((tag, payload))
+
+    def recv(self, source: int, tag: int = 0, timeout: float = _DEFAULT_TIMEOUT):
+        """Blocking receive of the next message from ``source`` with ``tag``
+        (out-of-order tags are stashed)."""
+        if not (0 <= source < self.size):
+            raise ValueError(f"invalid source {source}")
+        stash = self._stash.setdefault(source, {})
+        if tag in stash and stash[tag]:
+            return pickle.loads(stash[tag].pop(0))
+        q = self._shared.queues[(source, self.rank)]
+        while True:
+            if self._shared.abort.is_set():
+                raise SimMPIAborted("run aborted")
+            try:
+                got_tag, payload = q.get(timeout=0.05)
+            except queue.Empty:
+                timeout -= 0.05
+                if timeout <= 0:
+                    raise TimeoutError(
+                        f"rank {self.rank} timed out receiving from {source} tag {tag}"
+                    )
+                continue
+            if got_tag == tag:
+                return pickle.loads(payload)
+            stash.setdefault(got_tag, []).append(payload)
+
+    def isend(self, obj, dest: int, tag: int = 0) -> "Request":
+        """Nonblocking send.  The simulated send buffers immediately, so the
+        request completes at once — the API exists for mpi4py parity."""
+        self.send(obj, dest, tag)
+        return Request(lambda timeout: None)
+
+    def irecv(self, source: int, tag: int = 0) -> "Request":
+        """Nonblocking receive: returns a :class:`Request`; ``wait()``
+        yields the object."""
+        return Request(lambda timeout: self.recv(source, tag, timeout=timeout))
+
+    # ------------------------------------------------------------------ #
+    # collectives (built on point-to-point so they are accounted)
+    # ------------------------------------------------------------------ #
+
+    def bcast(self, obj, root: int = 0, tag: int = -1):
+        if self.rank == root:
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(obj, dst, tag)
+            return obj
+        return self.recv(root, tag)
+
+    def gather(self, obj, root: int = 0, tag: int = -2):
+        if self.rank == root:
+            out = [None] * self.size
+            out[root] = obj
+            for src in range(self.size):
+                if src != root:
+                    out[src] = self.recv(src, tag)
+            return out
+        self.send(obj, root, tag)
+        return None
+
+    def scatter(self, objs, root: int = 0, tag: int = -3):
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("root must scatter one object per rank")
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(objs[dst], dst, tag)
+            return objs[root]
+        return self.recv(root, tag)
+
+    def allgather(self, obj, tag: int = -4):
+        data = self.gather(obj, root=0, tag=tag)
+        return self.bcast(data, root=0, tag=tag - 100)
+
+    def allreduce(self, obj, op=None, tag: int = -5):
+        """Reduce with ``op`` (binary callable, default ``+``) then broadcast."""
+        data = self.gather(obj, root=0, tag=tag)
+        if self.rank == 0:
+            acc = data[0]
+            for item in data[1:]:
+                acc = (acc + item) if op is None else op(acc, item)
+        else:
+            acc = None
+        return self.bcast(acc, root=0, tag=tag - 100)
+
+    def reduce(self, obj, op=None, root: int = 0, tag: int = -6):
+        """Reduce to ``root`` with ``op`` (binary callable, default ``+``);
+        non-root ranks get ``None``."""
+        data = self.gather(obj, root=root, tag=tag)
+        if self.rank != root:
+            return None
+        acc = data[0]
+        for item in data[1:]:
+            acc = (acc + item) if op is None else op(acc, item)
+        return acc
+
+    def alltoall(self, objs, tag: int = -7):
+        """Each rank sends ``objs[d]`` to rank ``d`` and receives one object
+        from every rank; returns the received list indexed by source."""
+        if objs is None or len(objs) != self.size:
+            raise ValueError("alltoall needs one object per rank")
+        for dst in range(self.size):
+            if dst != self.rank:
+                self.send(objs[dst], dst, tag)
+        out = [None] * self.size
+        out[self.rank] = objs[self.rank]
+        for src in range(self.size):
+            if src != self.rank:
+                out[src] = self.recv(src, tag)
+        return out
+
+    def barrier(self) -> None:
+        if self._shared.abort.is_set():
+            raise SimMPIAborted("run aborted")
+        self._shared.barrier.wait(timeout=_DEFAULT_TIMEOUT)
+
+
+def spmd_run(size: int, fn, *args, return_stats: bool = False, **kwargs):
+    """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks.
+
+    Returns the list of per-rank return values (plus the
+    :class:`TrafficStats` if ``return_stats``).  The first rank exception is
+    re-raised with its rank attached.
+    """
+    if size < 1:
+        raise ValueError("need at least one rank")
+    shared = _Shared(size)
+    results = [None] * size
+    errors = [None] * size
+
+    def runner(rank: int):
+        comm = SimComm(shared, rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - must not deadlock peers
+            errors[rank] = exc
+            shared.abort.set()
+            shared.barrier.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"simmpi-rank-{r}")
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # Re-raise the root cause: secondary BrokenBarrier/SimMPIAborted errors
+    # on peer ranks are consequences of the abort, not the failure itself.
+    secondary = (SimMPIAborted, threading.BrokenBarrierError)
+    primary = [
+        (r, e) for r, e in enumerate(errors)
+        if e is not None and not isinstance(e, secondary)
+    ]
+    if primary:
+        rank, exc = primary[0]
+        raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+    for rank, exc in enumerate(errors):
+        if exc is not None and not isinstance(exc, SimMPIAborted):
+            raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+    if return_stats:
+        return results, shared.stats
+    return results

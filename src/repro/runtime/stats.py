@@ -1,0 +1,84 @@
+"""Traffic and phase accounting for the simulated runtime.
+
+Every message through a :class:`~repro.runtime.simmpi.SimComm` records its
+(source, destination, bytes, phase).  Phases are the paper's P0–P3 labels
+(or anything the driver sets); the PARED benches report per-phase message
+and byte totals from these counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+
+
+class TrafficStats:
+    """Thread-safe message/byte counters, grouped by phase."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.messages = defaultdict(int)  # phase -> count
+        self.bytes = defaultdict(int)  # phase -> payload bytes
+        self.by_pair = defaultdict(int)  # (src, dst) -> count
+
+    def record(self, src: int, dst: int, nbytes: int, phase: str) -> None:
+        with self._lock:
+            self.messages[phase] += 1
+            self.bytes[phase] += nbytes
+            self.by_pair[(src, dst)] += 1
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
+
+    def phase_report(self) -> dict:
+        """``{phase: (messages, bytes)}`` snapshot."""
+        with self._lock:
+            return {
+                ph: (self.messages[ph], self.bytes[ph])
+                for ph in sorted(set(self.messages) | set(self.bytes))
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.messages.clear()
+            self.bytes.clear()
+            self.by_pair.clear()
+
+
+class PhaseTimer:
+    """Wall-clock accumulator per phase (coordinator-side bookkeeping)."""
+
+    def __init__(self) -> None:
+        self.totals = defaultdict(float)
+        self._start = {}
+
+    def start(self, phase: str) -> None:
+        self._start[phase] = time.perf_counter()
+
+    def stop(self, phase: str) -> None:
+        t0 = self._start.pop(phase, None)
+        if t0 is not None:
+            self.totals[phase] += time.perf_counter() - t0
+
+    def __enter__(self):
+        return self
+
+    def phase(self, name: str):
+        timer = self
+
+        class _Ctx:
+            def __enter__(self_inner):
+                timer.start(name)
+                return timer
+
+            def __exit__(self_inner, *exc):
+                timer.stop(name)
+                return False
+
+        return _Ctx()

@@ -1,0 +1,6 @@
+"""Dependency-free visualization: SVG renderings of 2-D meshes and
+partitions (the Figure 1 / Figure 6 analogs)."""
+
+from repro.viz.svg import mesh_to_svg, partition_to_svg, save_svg, series_to_svg
+
+__all__ = ["mesh_to_svg", "partition_to_svg", "save_svg", "series_to_svg"]

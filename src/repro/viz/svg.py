@@ -1,0 +1,125 @@
+"""Pure-Python SVG rendering of 2-D triangle meshes, partitions, and simple
+line series.
+
+No plotting library is required offline; SVG is text.  These renderers
+produce the paper's qualitative artifacts — the adapted meshes of Figures 1
+and 6 and the per-step series of Figures 7/8 — viewable in any browser.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: a colorblind-friendly qualitative palette (Okabe–Ito), cycled for p > 8
+PALETTE = (
+    "#0072B2", "#E69F00", "#009E73", "#CC79A7",
+    "#56B4E9", "#D55E00", "#F0E442", "#999999",
+)
+
+
+def _viewport(verts: np.ndarray, size: int, pad: float):
+    lo = verts.min(axis=0)
+    hi = verts.max(axis=0)
+    span = float(max(hi[0] - lo[0], hi[1] - lo[1])) or 1.0
+    scale = (size - 2 * pad) / span
+
+    def txy(p):
+        # flip y: SVG's axis points down
+        x = pad + (p[0] - lo[0]) * scale
+        y = size - pad - (p[1] - lo[1]) * scale
+        return x, y
+
+    return txy
+
+
+def mesh_to_svg(mesh, size: int = 640, stroke: str = "#333333") -> str:
+    """SVG of the current leaf mesh (wireframe)."""
+    return partition_to_svg(mesh, None, size=size, stroke=stroke)
+
+
+def partition_to_svg(mesh, assignment=None, size: int = 640, stroke: str = "#333333") -> str:
+    """SVG of the leaf mesh, triangles filled by subset color when an
+    ``assignment`` (aligned with ``leaf_ids()``) is given."""
+    mesh = getattr(mesh, "mesh", mesh)
+    if mesh.dim != 2:
+        raise ValueError("SVG rendering supports 2-D meshes only")
+    verts = mesh.verts
+    cells = mesh.leaf_cells()
+    txy = _viewport(verts[np.unique(cells.ravel())], size, pad=8.0)
+    if assignment is not None:
+        assignment = np.asarray(assignment)
+        if assignment.shape[0] != cells.shape[0]:
+            raise ValueError("assignment must align with current leaves")
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}" '
+        f'viewBox="0 0 {size} {size}">',
+        f'<rect width="{size}" height="{size}" fill="white"/>',
+    ]
+    sw = max(0.3, size / 2500.0)
+    for k, cell in enumerate(cells):
+        pts = " ".join(
+            f"{x:.2f},{y:.2f}" for x, y in (txy(verts[v]) for v in cell)
+        )
+        if assignment is None:
+            fill = "none"
+        else:
+            fill = PALETTE[int(assignment[k]) % len(PALETTE)]
+        parts.append(
+            f'<polygon points="{pts}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{sw:.2f}"/>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def series_to_svg(
+    series: dict,
+    field: str,
+    size=(720, 360),
+    title: str = "",
+) -> str:
+    """Line chart of one field of a per-step series dict
+    (``{name: [records]}``, as produced by
+    :class:`repro.experiments.transient.TransientRunner`)."""
+    w, h = size
+    pad = 42.0
+    names = list(series)
+    steps = np.array([r["step"] for r in series[names[0]]], dtype=float)
+    ys = {name: np.array([r[field] for r in series[name]], dtype=float) for name in names}
+    ymax = max(float(v.max()) for v in ys.values()) or 1.0
+    xmax = float(steps.max()) or 1.0
+
+    def tx(x):
+        return pad + x / xmax * (w - 2 * pad)
+
+    def ty(y):
+        return h - pad - y / ymax * (h - 2 * pad)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" '
+        f'viewBox="0 0 {w} {h}">',
+        f'<rect width="{w}" height="{h}" fill="white"/>',
+        f'<line x1="{pad}" y1="{h-pad}" x2="{w-pad}" y2="{h-pad}" stroke="#444"/>',
+        f'<line x1="{pad}" y1="{pad}" x2="{pad}" y2="{h-pad}" stroke="#444"/>',
+        f'<text x="{w/2:.0f}" y="16" text-anchor="middle" font-size="13">{title}</text>',
+        f'<text x="{w-pad}" y="{h-pad+16:.0f}" text-anchor="end" font-size="11">step</text>',
+        f'<text x="{pad}" y="{pad-6:.0f}" font-size="11">{field} (max {ymax:g})</text>',
+    ]
+    for i, name in enumerate(names):
+        color = PALETTE[i % len(PALETTE)]
+        pts = " ".join(f"{tx(x):.1f},{ty(y):.1f}" for x, y in zip(steps, ys[name]))
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" stroke-width="1.6"/>'
+        )
+        parts.append(
+            f'<text x="{w-pad+4:.0f}" y="{ty(ys[name][-1]):.0f}" font-size="11" '
+            f'fill="{color}">{name}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(path, svg_text: str) -> None:
+    """Write an SVG document to ``path``."""
+    with open(path, "w") as f:
+        f.write(svg_text)

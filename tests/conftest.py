@@ -1,0 +1,62 @@
+"""Shared fixtures: small deterministic meshes and graphs used across the
+test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import WeightedGraph
+from repro.mesh.adapt import AdaptiveMesh
+
+
+@pytest.fixture()
+def square8() -> AdaptiveMesh:
+    """128-triangle square, unrefined."""
+    return AdaptiveMesh.unit_square(8)
+
+
+@pytest.fixture()
+def cube3() -> AdaptiveMesh:
+    """162-tet cube, unrefined."""
+    return AdaptiveMesh.unit_cube(3)
+
+
+@pytest.fixture()
+def adapted_square() -> AdaptiveMesh:
+    """Square refined three rounds toward the (1,1) corner."""
+    am = AdaptiveMesh.unit_square(8)
+    for _ in range(3):
+        am.refine_where(lambda c: (c[:, 0] > 0.3) & (c[:, 1] > 0.3))
+    return am
+
+
+@pytest.fixture()
+def adapted_cube() -> AdaptiveMesh:
+    """Cube refined twice toward the (1,1,1) corner."""
+    am = AdaptiveMesh.unit_cube(3)
+    for _ in range(2):
+        am.refine_where(lambda c: (c[:, 0] > 0) & (c[:, 1] > 0) & (c[:, 2] > 0))
+    return am
+
+
+@pytest.fixture()
+def grid_graph() -> WeightedGraph:
+    """8x8 unit-weight grid graph (64 vertices)."""
+    n = 8
+    edges = []
+    for i in range(n):
+        for j in range(n):
+            v = i * n + j
+            if i + 1 < n:
+                edges.append((v, v + n))
+            if j + 1 < n:
+                edges.append((v, v + 1))
+    return WeightedGraph.from_edges(n * n, np.array(edges))
+
+
+@pytest.fixture()
+def path_graph() -> WeightedGraph:
+    """10-vertex path with increasing vertex weights 1..10."""
+    edges = [(i, i + 1) for i in range(9)]
+    return WeightedGraph.from_edges(10, np.array(edges), vweights=np.arange(1, 11))

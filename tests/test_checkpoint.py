@@ -1,0 +1,97 @@
+"""Tests for full-state checkpoint/restart."""
+
+import numpy as np
+import pytest
+
+from repro.core import PNR
+from repro.mesh import AdaptiveMesh, coarse_dual_graph
+from repro.mesh.adapt import AdaptiveMesh as AM
+from repro.mesh.io import load_checkpoint, load_state, save_checkpoint, save_state
+
+
+def _geo(mesh):
+    return {
+        tuple(sorted(map(tuple, np.round(mesh.verts[c], 12))))
+        for c in mesh.leaf_cells()
+    }
+
+
+class TestStateRoundtrip:
+    def test_restored_mesh_identical(self, adapted_square, tmp_path):
+        path = tmp_path / "state.npz"
+        save_state(path, adapted_square)
+        mesh2 = load_state(path)
+        m1 = adapted_square.mesh
+        assert mesh2.n_leaves == m1.n_leaves
+        assert mesh2.n_roots == m1.n_roots
+        assert np.array_equal(mesh2.leaf_ids(), m1.leaf_ids())
+        assert np.array_equal(mesh2.leaf_cells(), m1.leaf_cells())
+        assert mesh2._midpoint == m1._midpoint
+        mesh2.check_conformal()
+        mesh2.forest.validate()
+
+    def test_restored_mesh_refines_identically(self, tmp_path):
+        am = AdaptiveMesh.unit_square(6)
+        am.refine(am.leaf_ids()[:7])
+        path = tmp_path / "s.npz"
+        save_state(path, am)
+        mesh2 = load_state(path)
+        marked = [int(e) for e in am.leaf_ids()[:5]]
+        am.refine(marked)
+        am2 = AM(mesh2)
+        am2.refine(marked)
+        # identical ids AND geometry (reactivation bookkeeping preserved)
+        assert np.array_equal(am.leaf_ids(), am2.leaf_ids())
+        assert _geo(am.mesh) == _geo(am2.mesh)
+
+    def test_restored_after_coarsening_reactivates(self, tmp_path):
+        am = AdaptiveMesh.unit_square(4)
+        am.uniform_refine(1)
+        am.coarsen(am.leaf_ids())  # children now INACTIVE
+        path = tmp_path / "s.npz"
+        save_state(path, am)
+        mesh2 = load_state(path)
+        n_elems = mesh2.n_elements
+        am2 = AM(mesh2)
+        am2.refine(am2.leaf_ids())
+        # refinement reactivates the checkpointed INACTIVE children — no
+        # new element storage
+        assert mesh2.n_elements == n_elems
+
+    def test_3d_roundtrip(self, adapted_cube, tmp_path):
+        path = tmp_path / "cube.npz"
+        save_state(path, adapted_cube)
+        mesh2 = load_state(path)
+        assert mesh2.dim == 3
+        assert mesh2.n_leaves == adapted_cube.n_leaves
+        mesh2.check_conformal()
+        assert mesh2.leaf_volumes().sum() == pytest.approx(8.0)
+
+
+class TestCheckpoint:
+    def test_pared_style_resume(self, tmp_path):
+        am = AdaptiveMesh.unit_square(8)
+        am.refine_where(lambda c: (c[:, 0] > 0.3) & (c[:, 1] > 0.3))
+        pnr = PNR(seed=4)
+        owner = pnr.initial_partition(am, 4)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, am, owner=owner, metadata={"round": 7})
+
+        mesh2, owner2, meta = load_checkpoint(path)
+        assert meta == {"round": 7}
+        assert np.array_equal(owner2, owner)
+        # the restored state supports the next repartitioning round
+        am2 = AM(mesh2)
+        am2.refine_where(lambda c: c[:, 0] < -0.4)
+        new = pnr.repartition(am2, 4, owner2)
+        g = coarse_dual_graph(am2.mesh)
+        from repro.partition import graph_imbalance
+
+        assert graph_imbalance(g, new, 4) < 0.3
+
+    def test_checkpoint_without_owner(self, square8, tmp_path):
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, square8)
+        mesh2, owner2, meta = load_checkpoint(path)
+        assert owner2 is None and meta is None
+        assert mesh2.n_leaves == square8.n_leaves

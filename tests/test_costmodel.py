@@ -1,0 +1,59 @@
+"""Tests for the α–β communication cost model."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    IBM_SP,
+    MODERN_HPC,
+    NOW_ETHERNET,
+    NetworkProfile,
+    TrafficStats,
+    compare_profiles,
+    estimate_phase_times,
+    spmd_run,
+)
+
+
+class TestProfiles:
+    def test_message_time_formula(self):
+        p = NetworkProfile("test", 1e-3, 1e6)
+        assert p.message_time(0) == pytest.approx(1e-3)
+        assert p.message_time(1_000_000) == pytest.approx(1e-3 + 1.0)
+
+    def test_modern_faster_than_now(self):
+        for s in (0, 1024, 10**6):
+            assert MODERN_HPC.message_time(s) < NOW_ETHERNET.message_time(s)
+
+    def test_sp_between(self):
+        # big messages: SP's bandwidth beats Ethernet's
+        assert IBM_SP.message_time(10**6) < NOW_ETHERNET.message_time(10**6)
+
+
+class TestEstimation:
+    def test_phase_times_additive(self):
+        stats = TrafficStats()
+        stats.record(0, 1, 1000, "P2")
+        stats.record(1, 0, 2000, "P2")
+        stats.record(0, 1, 500, "P3")
+        times = estimate_phase_times(stats, NetworkProfile("t", 1e-4, 1e6))
+        assert times["P2"] == pytest.approx(2 * 1e-4 + 3000 / 1e6)
+        assert times["P3"] == pytest.approx(1e-4 + 500 / 1e6)
+
+    def test_compare_profiles_shape(self):
+        stats = TrafficStats()
+        stats.record(0, 1, 100, "P0")
+        rep = compare_profiles(stats)
+        assert set(rep) == {"IBM-SP", "NOW-Ethernet", "Modern-HPC"}
+        assert all("P0" in v for v in rep.values())
+
+    def test_on_real_run(self):
+        def prog(comm):
+            comm.set_phase("P2")
+            comm.gather(np.zeros(100), root=0)
+
+        _, stats = spmd_run(3, prog, return_stats=True)
+        times = estimate_phase_times(stats, NOW_ETHERNET)
+        assert times["P2"] > 0
+        # latency-dominated at this size: 2 messages x 100 us
+        assert times["P2"] > 2 * NOW_ETHERNET.latency_s

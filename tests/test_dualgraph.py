@@ -1,0 +1,103 @@
+"""Tests for the coarse/fine dual graphs (Section 5 weights)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.dualgraph import (
+    coarse_dual_graph,
+    coarse_weight_update,
+    fine_dual_graph,
+    leaf_assignment_from_roots,
+)
+
+
+class TestFineDual:
+    def test_unrefined_square(self, square8):
+        g, leaf_ids = fine_dual_graph(square8.mesh)
+        assert g.n_vertices == square8.n_leaves
+        assert np.array_equal(leaf_ids, square8.leaf_ids())
+        # interior edges: each triangle has <= 3 neighbors
+        assert g.xadj[-1] <= 3 * g.n_vertices
+        g.validate()
+
+    def test_connected(self, adapted_square):
+        g, _ = fine_dual_graph(adapted_square.mesh)
+        assert g.is_connected()
+
+    def test_3d(self, adapted_cube):
+        g, _ = fine_dual_graph(adapted_cube.mesh)
+        assert g.n_vertices == adapted_cube.n_leaves
+        assert g.is_connected()
+        # tets have <= 4 face neighbors
+        assert np.diff(g.xadj).max() <= 4
+
+
+class TestCoarseDual:
+    def test_vertex_weights_sum_to_leaves(self, adapted_square):
+        g = coarse_dual_graph(adapted_square.mesh)
+        assert g.n_vertices == adapted_square.n_roots
+        assert g.vwts.sum() == pytest.approx(adapted_square.n_leaves)
+
+    def test_unrefined_weights_all_one(self, square8):
+        g = coarse_dual_graph(square8.mesh)
+        assert np.all(g.vwts == 1)
+        assert np.all(g.ewts == 1)
+
+    def test_edge_weights_count_fine_adjacencies(self, square8):
+        # refine one coarse element; the edges to its neighbors gain weight
+        am = square8
+        am.refine([0])
+        g = coarse_dual_graph(am.mesh)
+        # element 0's tree has 2 leaves now (bisection pair partner too)
+        assert g.vwts.max() == 2
+        # total edge weight equals the number of cross-root fine adjacencies
+        from repro.mesh.dualgraph import _leaf_adjacency_pairs
+
+        pairs = _leaf_adjacency_pairs(am.mesh)
+        roots = am.mesh.leaf_roots()
+        cross = roots[pairs[:, 0]] != roots[pairs[:, 1]]
+        assert g.ewts.sum() / 2 == pytest.approx(cross.sum())
+
+    def test_weights_track_coarsening(self, adapted_square):
+        am = adapted_square
+        g1 = coarse_dual_graph(am.mesh)
+        for _ in range(10):
+            if not am.coarsen(am.leaf_ids()):
+                break
+        g2 = coarse_dual_graph(am.mesh)
+        assert g2.vwts.sum() == am.n_leaves
+        assert g2.vwts.sum() < g1.vwts.sum()
+        assert np.all(g2.vwts == 1)
+
+    def test_structure_fixed_under_refinement(self, square8):
+        g0 = coarse_dual_graph(square8.mesh)
+        square8.refine(square8.leaf_ids()[:20])
+        g1 = coarse_dual_graph(square8.mesh)
+        # the coarse dual's topology never changes, only its weights
+        assert np.array_equal(g0.xadj, g1.xadj)
+        assert np.array_equal(g0.adjncy, g1.adjncy)
+
+
+class TestInducedAssignment:
+    def test_trees_move_whole(self, adapted_square):
+        am = adapted_square
+        coarse = np.arange(am.n_roots) % 4
+        fine = leaf_assignment_from_roots(am.mesh, coarse)
+        roots = am.mesh.leaf_roots()
+        assert np.array_equal(fine, coarse[roots])
+
+    def test_wrong_length_raises(self, square8):
+        with pytest.raises(ValueError):
+            leaf_assignment_from_roots(square8.mesh, np.zeros(3, dtype=int))
+
+
+class TestWeightUpdate:
+    def test_changed_roots_detection(self, square8):
+        g0, changed0 = coarse_weight_update(square8.mesh)
+        assert len(changed0) == square8.n_roots  # first call reports all
+        square8.refine([0])
+        g1, changed1 = coarse_weight_update(square8.mesh, prev_vwts=g0.vwts)
+        assert len(changed1) >= 1
+        assert 0 in changed1
+        # unchanged roots are not reported
+        assert len(changed1) < square8.n_roots

@@ -1,0 +1,153 @@
+"""Tests for the refinement-history forest."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.forest import INACTIVE, INTERIOR, LEAF, RefinementForest
+
+
+@pytest.fixture()
+def forest3():
+    f = RefinementForest()
+    f.add_roots(3)
+    return f
+
+
+class TestConstruction:
+    def test_roots_are_leaves(self, forest3):
+        assert forest3.n_roots == 3
+        assert forest3.n_leaves == 3
+        for r in range(3):
+            assert forest3.is_leaf(r)
+            assert forest3.root(r) == r
+            assert forest3.depth(r) == 0
+            assert forest3.parent(r) == -1
+
+    def test_split_creates_children(self, forest3):
+        c0, c1, created = forest3.split(0)
+        assert created
+        assert forest3.status(0) == INTERIOR
+        assert forest3.is_leaf(c0) and forest3.is_leaf(c1)
+        assert forest3.parent(c0) == 0 and forest3.parent(c1) == 0
+        assert forest3.root(c0) == 0 and forest3.depth(c0) == 1
+        assert forest3.n_leaves == 4
+
+    def test_split_non_leaf_raises(self, forest3):
+        forest3.split(0)
+        with pytest.raises(ValueError):
+            forest3.split(0)
+
+    def test_deep_split_tracks_depth_and_root(self, forest3):
+        c0, _, _ = forest3.split(1)
+        g0, g1, _ = forest3.split(c0)
+        assert forest3.depth(g0) == 2
+        assert forest3.root(g0) == 1
+        assert forest3.ancestors(g0) == [c0, 1]
+
+
+class TestMerge:
+    def test_merge_roundtrip(self, forest3):
+        c0, c1, _ = forest3.split(0)
+        back = forest3.merge(0)
+        assert back == (c0, c1)
+        assert forest3.is_leaf(0)
+        assert forest3.status(c0) == INACTIVE
+        assert forest3.n_leaves == 3
+
+    def test_merge_requires_leaf_children(self, forest3):
+        c0, c1, _ = forest3.split(0)
+        forest3.split(c0)
+        with pytest.raises(ValueError):
+            forest3.merge(0)
+
+    def test_merge_leaf_raises(self, forest3):
+        with pytest.raises(ValueError):
+            forest3.merge(0)
+
+    def test_resplit_reactivates_same_ids(self, forest3):
+        c0, c1, created = forest3.split(0)
+        forest3.merge(0)
+        r0, r1, recreated = forest3.split(0)
+        assert (r0, r1) == (c0, c1)
+        assert not recreated
+        assert forest3.is_leaf(r0) and forest3.is_leaf(r1)
+
+    def test_reactivation_keeps_grandchildren_inactive(self, forest3):
+        c0, c1, _ = forest3.split(0)
+        g0, g1, _ = forest3.split(c0)
+        forest3.merge(c0)
+        forest3.merge(0)
+        forest3.split(0)  # reactivate c0, c1
+        assert forest3.status(g0) == INACTIVE
+        assert forest3.is_leaf(c0)
+        forest3.validate()
+
+
+class TestQueries:
+    def test_leaves_sorted(self, forest3):
+        forest3.split(2)
+        leaves = forest3.leaves()
+        assert list(leaves) == sorted(leaves)
+        assert forest3.n_leaves == len(leaves)
+
+    def test_leaf_counts_by_root(self, forest3):
+        c0, _, _ = forest3.split(0)
+        forest3.split(c0)
+        counts = forest3.leaf_counts_by_root()
+        assert list(counts) == [3, 1, 1]
+        assert counts.sum() == forest3.n_leaves
+
+    def test_subtree_leaves(self, forest3):
+        c0, c1, _ = forest3.split(0)
+        g0, g1, _ = forest3.split(c0)
+        assert sorted(forest3.subtree_leaves(0)) == sorted([c1, g0, g1])
+        assert forest3.subtree_leaves(g0) == [g0]
+
+    def test_subtree_leaves_skips_inactive(self, forest3):
+        c0, c1, _ = forest3.split(0)
+        forest3.merge(0)
+        assert forest3.subtree_leaves(0) == [0]
+
+    def test_subtree_size_counts_all_states(self, forest3):
+        forest3.split(0)
+        forest3.merge(0)
+        assert forest3.subtree_size(0) == 3  # parent + 2 inactive children
+
+    def test_children_none_when_never_split(self, forest3):
+        assert forest3.children(1) is None
+
+    def test_arrays_are_consistent(self, forest3):
+        c0, _, _ = forest3.split(0)
+        assert forest3.status_array[c0] == LEAF
+        assert forest3.root_array[c0] == 0
+        assert forest3.parent_array[c0] == 0
+        assert forest3.depth_array[c0] == 1
+
+    def test_validate_passes_on_valid_forest(self, forest3):
+        c0, _, _ = forest3.split(0)
+        forest3.split(c0)
+        forest3.validate()
+
+
+class TestInvariants:
+    def test_random_split_merge_sequence(self):
+        rng = np.random.default_rng(42)
+        f = RefinementForest()
+        f.add_roots(5)
+        for _ in range(200):
+            leaves = f.leaves()
+            if rng.random() < 0.6:
+                f.split(int(leaves[rng.integers(len(leaves))]))
+            else:
+                # merge a random mergeable parent
+                cands = set()
+                for leaf in leaves:
+                    p = f.parent(int(leaf))
+                    if p >= 0:
+                        kids = f.children(p)
+                        if f.is_leaf(kids[0]) and f.is_leaf(kids[1]):
+                            cands.add(p)
+                if cands:
+                    f.merge(sorted(cands)[0])
+        f.validate()
+        assert f.leaf_counts_by_root().sum() == f.n_leaves

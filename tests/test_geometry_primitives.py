@@ -1,0 +1,207 @@
+"""Unit and property tests for the geometric kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    TET_EDGES,
+    TET_FACES,
+    TRI_EDGES,
+    bounding_box,
+    centroids,
+    edge_lengths,
+    tet_edge_lengths,
+    tet_longest_edge,
+    tet_quality,
+    tet_volume,
+    tet_volumes,
+    tri_area,
+    tri_areas,
+    tri_edge_lengths,
+    tri_longest_edge,
+    tri_quality,
+)
+
+
+class TestTriAreas:
+    def test_unit_right_triangle(self):
+        verts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        assert tri_area(verts, [0, 1, 2]) == pytest.approx(0.5)
+
+    def test_orientation_invariant(self):
+        verts = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 3.0]])
+        assert tri_area(verts, [0, 1, 2]) == pytest.approx(tri_area(verts, [0, 2, 1]))
+
+    def test_batch_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        verts = rng.uniform(-1, 1, (10, 2))
+        tris = np.array([[0, 1, 2], [3, 4, 5], [6, 7, 8]])
+        batch = tri_areas(verts, tris)
+        for k, t in enumerate(tris):
+            assert batch[k] == pytest.approx(tri_area(verts, t))
+
+    def test_degenerate_zero(self):
+        verts = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        assert tri_area(verts, [0, 1, 2]) == pytest.approx(0.0)
+
+    def test_3d_embedded_triangle(self):
+        verts = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0]], dtype=float)
+        assert tri_area(verts, [0, 1, 2]) == pytest.approx(0.5)
+
+
+class TestTetVolumes:
+    def test_unit_tet(self):
+        verts = np.array(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float
+        )
+        assert tet_volume(verts, [0, 1, 2, 3]) == pytest.approx(1 / 6)
+
+    def test_orientation_invariant(self):
+        verts = np.array(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float
+        )
+        assert tet_volume(verts, [0, 2, 1, 3]) == pytest.approx(1 / 6)
+
+    def test_batch(self):
+        verts = np.array(
+            [[0, 0, 0], [2, 0, 0], [0, 2, 0], [0, 0, 2], [1, 1, 1]], dtype=float
+        )
+        vols = tet_volumes(verts, [[0, 1, 2, 3], [0, 1, 2, 4]])
+        assert vols[0] == pytest.approx(8 / 6)
+        assert vols[1] > 0
+
+    def test_flat_tet_zero(self):
+        verts = np.array(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0]], dtype=float
+        )
+        assert tet_volume(verts, [0, 1, 2, 3]) == pytest.approx(0.0)
+
+
+class TestEdges:
+    def test_edge_lengths(self):
+        verts = np.array([[0.0, 0.0], [3.0, 4.0]])
+        assert edge_lengths(verts, [[0, 1]])[0] == pytest.approx(5.0)
+
+    def test_tri_edge_lengths_opposite_convention(self):
+        # edge i is opposite vertex i
+        verts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        lens = tri_edge_lengths(verts, [[0, 1, 2]])[0]
+        assert lens[0] == pytest.approx(np.sqrt(2))  # opposite vertex 0
+        assert lens[1] == pytest.approx(1.0)
+        assert lens[2] == pytest.approx(1.0)
+
+    def test_tet_edge_lengths_order(self):
+        verts = np.array(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float
+        )
+        lens = tet_edge_lengths(verts, [[0, 1, 2, 3]])[0]
+        for k, (p, q) in enumerate(TET_EDGES):
+            d = np.linalg.norm(verts[p] - verts[q])
+            assert lens[k] == pytest.approx(d)
+
+    def test_local_edge_tables(self):
+        assert len(TRI_EDGES) == 3
+        assert len(TET_EDGES) == 6
+        assert len(TET_FACES) == 4
+        # face i must not contain vertex i
+        for i, f in enumerate(TET_FACES):
+            assert i not in f
+
+
+class TestLongestEdge:
+    def test_tri_longest(self):
+        verts = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 1.0]])
+        # longest edge is (v0... hypotenuse between vertex 1 and 2? lengths:
+        # (1,2): sqrt(5), (2,0): 1, (0,1): 2 -> local edge 0
+        assert tri_longest_edge(verts, [0, 1, 2]) == 0
+
+    def test_tie_break_agrees_between_orders(self):
+        # equilateral: all edges tie; the chosen global pair must not depend
+        # on the vertex order of the cell
+        verts = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [0.5, np.sqrt(3) / 2]]
+        )
+        pairs = set()
+        for cell in ([0, 1, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]):
+            i = tri_longest_edge(verts, cell)
+            p, q = TRI_EDGES[i]
+            pairs.add(tuple(sorted((cell[p], cell[q]))))
+        assert pairs == {(0, 1)}
+
+    def test_tet_longest(self):
+        # edges from vertex 1 to 2/3 have length sqrt(10); tie broken by the
+        # smaller sorted vertex pair -> (1, 2)
+        verts = np.array(
+            [[0, 0, 0], [3, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float
+        )
+        i = tet_longest_edge(verts, [0, 1, 2, 3])
+        p, q = TET_EDGES[i]
+        assert {p, q} == {1, 2}
+
+    def test_tet_longest_unique(self):
+        verts = np.array(
+            [[0, 0, 0], [5, 0, 0], [0.1, 0.2, 0], [0.1, 0, 0.3]], dtype=float
+        )
+        i = tet_longest_edge(verts, [0, 1, 2, 3])
+        p, q = TET_EDGES[i]
+        assert {p, q} == {0, 1}
+
+
+class TestQualityAndMisc:
+    def test_equilateral_quality_one(self):
+        verts = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, np.sqrt(3) / 2]])
+        assert tri_quality(verts, [[0, 1, 2]])[0] == pytest.approx(1.0)
+
+    def test_sliver_quality_small(self):
+        verts = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 1e-4]])
+        assert tri_quality(verts, [[0, 1, 2]])[0] < 0.01
+
+    def test_regular_tet_quality_one(self):
+        verts = np.array(
+            [
+                [1, 1, 1], [1, -1, -1], [-1, 1, -1], [-1, -1, 1],
+            ],
+            dtype=float,
+        )
+        assert tet_quality(verts, [[0, 1, 2, 3]])[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_centroids(self):
+        verts = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 3.0]])
+        c = centroids(verts, [[0, 1, 2]])
+        assert np.allclose(c[0], [1.0, 1.0])
+
+    def test_bounding_box(self):
+        verts = np.array([[0.0, -2.0], [3.0, 5.0], [1.0, 1.0]])
+        lo, hi = bounding_box(verts)
+        assert np.allclose(lo, [0, -2]) and np.allclose(hi, [3, 5])
+
+
+@given(
+    pts=st.lists(
+        st.tuples(
+            st.floats(-100, 100, allow_nan=False),
+            st.floats(-100, 100, allow_nan=False),
+        ),
+        min_size=3,
+        max_size=3,
+        unique=True,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_area_translation_invariant(pts):
+    verts = np.array(pts)
+    shifted = verts + np.array([13.7, -4.2])
+    a1 = tri_area(verts, [0, 1, 2])
+    a2 = tri_area(shifted, [0, 1, 2])
+    assert a1 == pytest.approx(a2, rel=1e-6, abs=1e-6)
+
+
+@given(scale=st.floats(0.1, 10.0))
+@settings(max_examples=30, deadline=None)
+def test_volume_scales_cubically(scale):
+    verts = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float)
+    v1 = tet_volume(verts, [0, 1, 2, 3])
+    v2 = tet_volume(verts * scale, [0, 1, 2, 3])
+    assert v2 == pytest.approx(v1 * scale**3, rel=1e-9)

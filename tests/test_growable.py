@@ -1,0 +1,71 @@
+"""Tests for the grow-in-place storage."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.growable import GrowableMatrix, GrowableVector
+
+
+class TestGrowableMatrix:
+    def test_append_returns_index(self):
+        m = GrowableMatrix(3, np.int64, capacity=2)
+        assert m.append([1, 2, 3]) == 0
+        assert m.append([4, 5, 6]) == 1
+
+    def test_growth_preserves_data(self):
+        m = GrowableMatrix(2, float, capacity=1)
+        for k in range(50):
+            m.append([k, k * 2.0])
+        assert len(m) == 50
+        assert np.allclose(m.data[:, 0], np.arange(50))
+
+    def test_extend(self):
+        m = GrowableMatrix(2, np.int64)
+        first = m.extend(np.arange(10).reshape(5, 2))
+        assert first == 0 and len(m) == 5
+        second = m.extend([[100, 101]])
+        assert second == 5
+        assert tuple(m[5]) == (100, 101)
+
+    def test_extend_1d_row(self):
+        m = GrowableMatrix(3, np.int64)
+        m.extend(np.array([7, 8, 9]))
+        assert len(m) == 1 and tuple(m[0]) == (7, 8, 9)
+
+    def test_setitem(self):
+        m = GrowableMatrix(2, float)
+        m.append([1.0, 2.0])
+        m[0] = [3.0, 4.0]
+        assert tuple(m[0]) == (3.0, 4.0)
+
+    def test_data_is_view_of_live_rows(self):
+        m = GrowableMatrix(2, float, capacity=100)
+        m.append([1.0, 2.0])
+        assert m.data.shape == (1, 2)
+
+
+class TestGrowableVector:
+    def test_append_and_index(self):
+        v = GrowableVector(np.int64, capacity=1)
+        for k in range(20):
+            assert v.append(k * k) == k
+        assert v[7] == 49
+        assert len(v) == 20
+
+    def test_extend(self):
+        v = GrowableVector(float)
+        v.extend(np.ones(5))
+        v.extend(np.zeros(3))
+        assert len(v) == 8
+        assert v.data.sum() == pytest.approx(5.0)
+
+    def test_setitem(self):
+        v = GrowableVector(np.int64)
+        v.append(1)
+        v[0] = 42
+        assert v[0] == 42
+
+    def test_growth_many(self):
+        v = GrowableVector(np.int64, capacity=1)
+        v.extend(np.arange(1000))
+        assert np.array_equal(v.data, np.arange(1000))

@@ -1,0 +1,113 @@
+"""Tests for the nested tetrahedral mesh and 3-D Rivara refinement."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import structured_tet_mesh
+from repro.mesh.mesh3d import TetMesh
+from repro.mesh.rivara3d import refine3d
+
+
+def single_tet():
+    verts = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float)
+    return TetMesh(verts, np.array([[0, 1, 2, 3]]))
+
+
+def cube_mesh(n=2):
+    verts, tets = structured_tet_mesh(n, n, n)
+    return TetMesh(verts, tets)
+
+
+class TestConstruction:
+    def test_shapes(self):
+        m = cube_mesh(2)
+        assert m.n_roots == 48
+        assert m.n_leaves == 48
+
+    def test_degenerate_rejected(self):
+        verts = np.array(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0]], dtype=float
+        )
+        with pytest.raises(ValueError):
+            TetMesh(verts, np.array([[0, 1, 2, 3]]))
+
+    def test_edge_star(self):
+        m = cube_mesh(1)  # 6 Kuhn tets around the main diagonal
+        # corner 0 and corner 7 of the cube: the main diagonal is in all 6
+        star = m.edge_star(0, 7)
+        assert len(star) == 6
+
+    def test_face_adjacency(self):
+        m = cube_mesh(1)
+        # every interior face shared by exactly two tets
+        for face, elems in m._face_elems.items():
+            assert 1 <= len(elems) <= 2
+
+    def test_neighbor_across(self):
+        m = cube_mesh(1)
+        e0 = 0
+        cell = m.cell(e0)
+        found_any = False
+        from itertools import combinations
+
+        for face in combinations(cell, 3):
+            nb = m.neighbor_across(e0, face)
+            if nb is not None:
+                found_any = True
+                assert set(face) <= set(m.cell(nb))
+        assert found_any
+
+
+class TestBisection:
+    def test_single_tet_bisection(self):
+        m = single_tet()
+        refine3d(m, [0])
+        assert m.n_leaves == 2
+        assert m.leaf_volumes().sum() == pytest.approx(1 / 6)
+        m.check_conformal()
+        m.forest.validate()
+
+    def test_star_bisected_together(self):
+        m = cube_mesh(1)
+        refine3d(m, [0])
+        # the whole 6-tet star around the main diagonal splits -> 12 leaves
+        assert m.n_leaves == 12
+        assert m.leaf_volumes().sum() == pytest.approx(8.0)
+        m.check_conformal()
+
+    def test_volume_preserved_random_refinement(self):
+        m = cube_mesh(2)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            leaves = m.leaf_ids()
+            marked = leaves[rng.choice(len(leaves), size=4, replace=False)]
+            refine3d(m, marked)
+            assert m.leaf_volumes().sum() == pytest.approx(8.0)
+            m.check_conformal()
+        m.forest.validate()
+
+    def test_no_degenerate_children(self):
+        m = cube_mesh(2)
+        refine3d(m, list(m.leaf_ids()))
+        assert m.leaf_volumes().min() > 0
+
+    def test_refined_element_skipped(self):
+        m = cube_mesh(1)
+        refine3d(m, [0])
+        n = m.n_leaves
+        assert refine3d(m, [0]) == []
+        assert m.n_leaves == n
+
+
+class TestBoundary:
+    def test_boundary_vertices_on_cube_surface(self):
+        m = cube_mesh(2)
+        refine3d(m, list(m.leaf_ids()[:10]))
+        b = m.boundary_vertices()
+        coords = m.verts[b]
+        on_surface = (
+            (np.abs(coords[:, 0]) == 1)
+            | (np.abs(coords[:, 1]) == 1)
+            | (np.abs(coords[:, 2]) == 1)
+        )
+        assert np.all(on_surface)

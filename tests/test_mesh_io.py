@@ -1,0 +1,99 @@
+"""Tests for mesh/partition I/O (npz and Triangle/TetGen formats)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import tri_areas
+from repro.mesh import AdaptiveMesh
+from repro.mesh.io import (
+    load_npz,
+    load_triangle_mesh,
+    read_ele_file,
+    read_node_file,
+    save_npz,
+    save_triangle_mesh,
+    write_ele_file,
+    write_node_file,
+)
+from repro.mesh.mesh2d import TriMesh
+
+
+class TestNpz:
+    def test_roundtrip(self, adapted_square, tmp_path):
+        path = tmp_path / "mesh.npz"
+        part = (np.arange(adapted_square.n_leaves) % 4).astype(np.int64)
+        save_npz(path, adapted_square, partition=part)
+        data = load_npz(path)
+        assert data["dim"] == 2
+        assert data["n_roots"] == adapted_square.n_roots
+        assert np.array_equal(data["cells"], adapted_square.leaf_cells())
+        assert np.array_equal(data["roots"], adapted_square.leaf_roots())
+        assert np.array_equal(data["partition"], part)
+
+    def test_partition_must_align(self, square8, tmp_path):
+        with pytest.raises(ValueError):
+            save_npz(tmp_path / "m.npz", square8, partition=np.zeros(3))
+
+    def test_3d(self, adapted_cube, tmp_path):
+        path = tmp_path / "cube.npz"
+        save_npz(path, adapted_cube)
+        data = load_npz(path)
+        assert data["dim"] == 3
+        assert data["cells"].shape[1] == 4
+
+    def test_reconstructable_mesh(self, adapted_square, tmp_path):
+        """A loaded snapshot can seed a fresh TriMesh with the same area."""
+        path = tmp_path / "m.npz"
+        save_npz(path, adapted_square)
+        data = load_npz(path)
+        # compact unused vertices first
+        used = np.unique(data["cells"].ravel())
+        remap = -np.ones(data["verts"].shape[0], dtype=np.int64)
+        remap[used] = np.arange(used.size)
+        mesh = TriMesh(data["verts"][used], remap[data["cells"]])
+        assert mesh.leaf_areas().sum() == pytest.approx(4.0)
+
+
+class TestTriangleFormat:
+    def test_node_roundtrip(self, tmp_path):
+        verts = np.array([[0.0, 0.0], [1.5, -2.25], [0.3, 0.7]])
+        path = tmp_path / "m.node"
+        write_node_file(path, verts)
+        back = read_node_file(path)
+        assert np.allclose(back, verts)
+
+    def test_ele_roundtrip_with_attrs(self, tmp_path):
+        cells = np.array([[0, 1, 2], [1, 2, 3]])
+        attrs = np.array([7, 9])
+        path = tmp_path / "m.ele"
+        write_ele_file(path, cells, attributes=attrs)
+        back, battrs = read_ele_file(path)
+        assert np.array_equal(back, cells)
+        assert np.array_equal(battrs, attrs)
+
+    def test_ele_without_attrs(self, tmp_path):
+        cells = np.array([[0, 1, 2]])
+        path = tmp_path / "m.ele"
+        write_ele_file(path, cells)
+        back, battrs = read_ele_file(path)
+        assert battrs is None
+        assert np.array_equal(back, cells)
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "c.node"
+        path.write_text("# header comment\n2 2 0 0\n1 0.0 0.0  # origin\n2 1.0 1.0\n")
+        verts = read_node_file(path)
+        assert np.allclose(verts, [[0, 0], [1, 1]])
+
+    def test_mesh_prefix_roundtrip(self, adapted_square, tmp_path):
+        prefix = str(tmp_path / "adapted")
+        part = (np.arange(adapted_square.n_leaves) % 3).astype(np.int64)
+        save_triangle_mesh(prefix, adapted_square, partition=part)
+        verts, cells, attrs = load_triangle_mesh(prefix)
+        assert np.array_equal(attrs, part)
+        # the leaf mesh tiles the domain
+        assert tri_areas(verts, cells).sum() == pytest.approx(4.0)
+
+    def test_attrs_must_align(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ele_file(tmp_path / "x.ele", np.zeros((2, 3), dtype=int), attributes=[1])

@@ -1,0 +1,117 @@
+"""Tests for mesh-level partition metrics."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.metrics import (
+    cut_size,
+    imbalance,
+    migrated_weight,
+    processor_distances,
+    processor_graph,
+    shared_vertex_count,
+    subdomain_connectivity,
+    subset_weights,
+)
+
+
+class TestSubsetWeights:
+    def test_counts(self):
+        a = np.array([0, 0, 1, 2, 2, 2])
+        assert list(subset_weights(a, 4)) == [2, 1, 3, 0]
+
+    def test_weighted(self):
+        a = np.array([0, 1, 1])
+        w = np.array([5.0, 2.0, 3.0])
+        assert list(subset_weights(a, 2, weights=w)) == [5.0, 5.0]
+
+    def test_imbalance_balanced(self):
+        assert imbalance(np.array([0, 1, 2, 3]), 4) == pytest.approx(0.0)
+
+    def test_imbalance_skewed(self):
+        a = np.array([0, 0, 0, 1])
+        assert imbalance(a, 2) == pytest.approx(0.5)
+
+
+class TestCutAndShared:
+    def test_single_subset_no_cut(self, square8):
+        a = np.zeros(square8.n_leaves, dtype=int)
+        assert cut_size(square8.mesh, a) == 0
+        assert shared_vertex_count(square8.mesh, a) == 0
+
+    def test_half_split(self, square8):
+        cents = square8.leaf_centroids()
+        a = (cents[:, 0] > 0).astype(int)
+        cut = cut_size(square8.mesh, a)
+        sv = shared_vertex_count(square8.mesh, a)
+        # a straight vertical split of the 8x8 square cuts ~8-16 edges and
+        # shares ~9 vertices
+        assert 0 < cut < 30
+        assert 0 < sv < 30
+
+    def test_every_element_own_subset(self, square8):
+        n = square8.n_leaves
+        a = np.arange(n)
+        from repro.mesh.dualgraph import _leaf_adjacency_pairs
+
+        pairs = _leaf_adjacency_pairs(square8.mesh)
+        assert cut_size(square8.mesh, a) == pairs.shape[0]
+
+    def test_shared_vertices_brute_force(self, adapted_square):
+        mesh = adapted_square.mesh
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, mesh.n_leaves)
+        expected = 0
+        cells = mesh.leaf_cells()
+        owners = {}
+        for cell, s in zip(cells, a):
+            for v in cell:
+                owners.setdefault(int(v), set()).add(int(s))
+        expected = sum(1 for parts in owners.values() if len(parts) >= 2)
+        assert shared_vertex_count(mesh, a) == expected
+
+
+class TestMigration:
+    def test_no_move(self):
+        a = np.array([0, 1, 2])
+        assert migrated_weight(a, a) == 0
+
+    def test_counts_moves(self):
+        old = np.array([0, 0, 1, 1])
+        new = np.array([0, 1, 1, 0])
+        assert migrated_weight(old, new) == 2
+
+    def test_weighted(self):
+        old = np.array([0, 1])
+        new = np.array([1, 1])
+        assert migrated_weight(old, new, weights=[7.0, 3.0]) == 7.0
+
+    def test_mismatched_raises(self):
+        with pytest.raises(ValueError):
+            migrated_weight(np.zeros(3), np.zeros(4))
+
+
+class TestProcessorGraph:
+    def test_two_halves_adjacent(self, square8):
+        cents = square8.leaf_centroids()
+        a = (cents[:, 0] > 0).astype(int)
+        h = processor_graph(square8.mesh, a, 2)
+        assert h[0, 1] and h[1, 0]
+
+    def test_quadrants(self, square8):
+        cents = square8.leaf_centroids()
+        a = (cents[:, 0] > 0).astype(int) + 2 * (cents[:, 1] > 0).astype(int)
+        h = processor_graph(square8.mesh, a, 4)
+        # diagonal quadrants touch only at the center point (vertex, not
+        # edge) so they are NOT adjacent in the element-adjacency sense
+        assert h[0, 1] and h[0, 2]
+        conn = subdomain_connectivity(square8.mesh, a, 4)
+        assert np.all(conn >= 2)
+
+    def test_distances(self, square8):
+        cents = square8.leaf_centroids()
+        a = np.digitize(cents[:, 0], np.linspace(-1, 1, 5)[1:-1])
+        h = processor_graph(square8.mesh, a, 4)
+        d = processor_distances(h, 0)
+        assert d[0] == 0
+        assert d[3] == 3  # strips: 0-1-2-3 path

@@ -1,0 +1,88 @@
+"""Tests that the transcribed paper tables carry the relations the paper
+claims — the same relations the benches assert on measured data."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.paper_data import (
+    FIG3_PROCS,
+    FIG3_2D_MLKL,
+    FIG3_2D_PNR,
+    FIG3_3D_MLKL,
+    FIG3_3D_PNR,
+    FIG4_RSB,
+    FIG5_PNR,
+    fig3_quality_ratio,
+    fig_migration_fraction,
+    fig_perm_migration_fraction,
+    paper_consistency_report,
+)
+
+
+class TestFig3:
+    def test_table_shapes(self):
+        assert len(FIG3_PROCS) == 6
+        assert set(FIG3_2D_MLKL) == set(range(9))
+        assert set(FIG3_3D_MLKL) == set(range(6))
+        for table in (FIG3_2D_MLKL, FIG3_2D_PNR, FIG3_3D_MLKL, FIG3_3D_PNR):
+            for row in table.values():
+                assert len(row) == 6
+
+    def test_quality_ratio_near_one(self):
+        # "PNR provides very high quality partitions"
+        for dim in (2, 3):
+            r = fig3_quality_ratio(dim)
+            assert 0.9 < r.mean() < 1.1
+            assert r.max() < 1.35
+
+    def test_shared_vertices_grow_with_p(self):
+        for table in (FIG3_2D_MLKL, FIG3_2D_PNR):
+            for row in table.values():
+                assert list(row) == sorted(row)
+
+    def test_shared_vertices_grow_with_level(self):
+        for table in (FIG3_2D_MLKL, FIG3_2D_PNR):
+            col0 = [table[lvl][0] for lvl in sorted(table)]
+            # monotone in trend: last level far above first
+            assert col0[-1] > 2 * col0[0]
+
+
+class TestFig45:
+    def test_row_counts(self):
+        assert len(FIG4_RSB) == 25 and len(FIG5_PNR) == 25
+
+    def test_rsb_migrates_about_half_or_more(self):
+        frac = fig_migration_fraction(FIG4_RSB)
+        assert frac.min() > 0.35
+        assert frac.max() <= 1.0
+
+    def test_permutation_never_hurts_rsb(self):
+        for row in FIG4_RSB:
+            assert row[6] <= row[5]
+
+    def test_permuted_rsb_still_tens_of_percent(self):
+        frac = fig_perm_migration_fraction(FIG4_RSB)
+        assert frac.max() > 0.4  # the "almost half the elements" case
+        assert np.median(frac) > 0.1
+
+    def test_pnr_small_and_flat(self):
+        frac = fig_migration_fraction(FIG5_PNR)
+        assert frac.max() < 0.14
+        # does not grow with mesh size: largest meshes below 1 percent
+        big = [r for r in FIG5_PNR if r[1] == 103585]
+        assert fig_migration_fraction(big).max() < 0.01
+
+    def test_pnr_permutation_is_identity(self):
+        for row in FIG5_PNR:
+            assert row[5] == row[6]
+
+    def test_pnr_cut_comparable_to_rsb(self):
+        for r_rsb, r_pnr in zip(FIG4_RSB, FIG5_PNR):
+            assert r_pnr[0] == r_rsb[0] and r_pnr[1] == r_rsb[1]
+            assert r_pnr[4] < 1.25 * r_rsb[4] + 30
+
+    def test_consistency_report(self):
+        rep = paper_consistency_report()
+        assert rep["fig5_perm_equals_raw"]
+        assert rep["fig4_raw_fraction_range"][1] <= 1.0
+        assert rep["fig5_fraction_range"][1] < 0.14

@@ -1,0 +1,92 @@
+"""Tests for the Biswas–Oliker migration-minimizing permutation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.permute import (
+    apply_permutation,
+    minimize_migration_permutation,
+    overlap_matrix,
+)
+
+
+class TestOverlapMatrix:
+    def test_identity(self):
+        a = np.array([0, 0, 1, 1])
+        ov = overlap_matrix(a, a, 2)
+        assert np.array_equal(ov, [[2, 0], [0, 2]])
+
+    def test_swap(self):
+        old = np.array([0, 0, 1, 1])
+        new = np.array([1, 1, 0, 0])
+        ov = overlap_matrix(old, new, 2)
+        assert np.array_equal(ov, [[0, 2], [2, 0]])
+
+    def test_weighted(self):
+        old = np.array([0, 1])
+        new = np.array([1, 1])
+        ov = overlap_matrix(old, new, 2, weights=[3.0, 5.0])
+        assert ov[0, 1] == 3.0 and ov[1, 1] == 5.0
+
+    def test_mismatched_raises(self):
+        with pytest.raises(ValueError):
+            overlap_matrix(np.zeros(3), np.zeros(4), 2)
+
+
+class TestPermutation:
+    def test_undoes_label_swap(self):
+        old = np.array([0, 0, 1, 1, 2, 2])
+        new = (old + 1) % 3
+        perm = minimize_migration_permutation(old, new, 3)
+        fixed = apply_permutation(new, perm)
+        assert np.array_equal(fixed, old)
+
+    def test_never_increases_migration(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            old = rng.integers(0, 4, 50)
+            new = rng.integers(0, 4, 50)
+            perm = minimize_migration_permutation(old, new, 4)
+            fixed = apply_permutation(new, perm)
+            assert np.count_nonzero(fixed != old) <= np.count_nonzero(new != old)
+
+    def test_is_permutation(self):
+        rng = np.random.default_rng(1)
+        old = rng.integers(0, 5, 40)
+        new = rng.integers(0, 5, 40)
+        perm = minimize_migration_permutation(old, new, 5)
+        assert sorted(perm) == list(range(5))
+
+    def test_preserves_partition_shape(self):
+        rng = np.random.default_rng(2)
+        old = rng.integers(0, 3, 30)
+        new = rng.integers(0, 3, 30)
+        perm = minimize_migration_permutation(old, new, 3)
+        fixed = apply_permutation(new, perm)
+        # relabeling never changes which elements are grouped together
+        for s in range(3):
+            members = np.nonzero(new == s)[0]
+            assert len(set(fixed[members])) == 1
+
+
+@given(
+    n=st.integers(5, 60),
+    p=st.integers(2, 6),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_optimality_among_permutations(n, p, seed):
+    """For small p, exhaustively verify the Hungarian result is optimal."""
+    from itertools import permutations
+
+    rng = np.random.default_rng(seed)
+    old = rng.integers(0, p, n)
+    new = rng.integers(0, p, n)
+    perm = minimize_migration_permutation(old, new, p)
+    best = np.count_nonzero(apply_permutation(new, perm) != old)
+    if p <= 4:
+        for cand in permutations(range(p)):
+            moved = np.count_nonzero(np.asarray(cand)[new] != old)
+            assert best <= moved

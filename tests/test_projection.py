@@ -1,0 +1,62 @@
+"""Tests for the Theorem 6.1 projection (fine partition -> coarse
+boundaries)."""
+
+import numpy as np
+import pytest
+
+from repro.core.projection import project_to_coarse, projection_report
+from repro.mesh import AdaptiveMesh, fine_dual_graph, leaf_assignment_from_roots
+from repro.partition import recursive_spectral_bisection
+
+
+class TestProjectToCoarse:
+    def test_already_nested_is_fixed_point(self, adapted_square):
+        am = adapted_square
+        coarse = np.arange(am.n_roots) % 4
+        fine = leaf_assignment_from_roots(am.mesh, coarse)
+        back = project_to_coarse(am.mesh, fine, 4)
+        assert np.array_equal(back, coarse)
+
+    def test_majority_rule(self):
+        am = AdaptiveMesh.unit_square(2)
+        am.uniform_refine(2)  # each root has 4 leaves
+        fine = np.zeros(am.n_leaves, dtype=np.int64)
+        # give root 0 three leaves in subset 1
+        roots = am.mesh.leaf_roots()
+        members = np.nonzero(roots == 0)[0]
+        fine[members[:3]] = 1
+        coarse = project_to_coarse(am.mesh, fine, 2)
+        assert coarse[0] == 1
+
+    def test_unrefined_identity(self, square8):
+        fine = (np.arange(square8.n_leaves) % 3).astype(np.int64)
+        coarse = project_to_coarse(square8.mesh, fine, 3)
+        # unrefined: leaves are roots (same order), projection is identity
+        assert np.array_equal(coarse, fine)
+
+
+class TestProjectionReport:
+    def test_bounds_on_uniform_refinement(self):
+        am = AdaptiveMesh.unit_square(6)
+        am.uniform_refine(3)
+        graph, _ = fine_dual_graph(am.mesh)
+        fine = recursive_spectral_bisection(graph, 4, seed=0, refine=True)
+        rep = projection_report(am, fine, 4)
+        assert rep["cut_after"] <= 9 * max(rep["cut_before"], 1)
+        assert rep["expansion"] == pytest.approx(
+            rep["cut_after"] / rep["cut_before"]
+        )
+        assert rep["load_after"].sum() == rep["load_before"].sum()
+        assert rep["depth"] == 3
+
+    def test_projected_assignment_respects_roots(self):
+        am = AdaptiveMesh.unit_square(4)
+        am.uniform_refine(2)
+        graph, _ = fine_dual_graph(am.mesh)
+        fine = recursive_spectral_bisection(graph, 2, seed=1)
+        rep = projection_report(am, fine, 2)
+        proj = rep["projected_assignment"]
+        roots = am.mesh.leaf_roots()
+        for r in np.unique(roots):
+            labels = set(proj[roots == r])
+            assert len(labels) == 1, "projection must not split a tree"

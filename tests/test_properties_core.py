@@ -1,0 +1,107 @@
+"""Property-based tests of the repartitioning core (hypothesis).
+
+These exercise the invariants DESIGN.md lists for PNR across randomized
+meshes, partitions and adaptation patterns.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import PNR, repartition_cost
+from repro.core.repartition_kl import multilevel_repartition
+from repro.graph.generators import grid_graph, weighted_refinement_profile
+from repro.mesh import AdaptiveMesh, coarse_dual_graph
+from repro.partition import graph_imbalance, graph_migration
+from repro.partition.kl import KLConfig, kl_refine
+from repro.partition.metrics import graph_cut
+
+
+@given(seed=st.integers(0, 10_000), p=st.integers(2, 6))
+@settings(max_examples=20, deadline=None)
+def test_repartition_never_worse_than_identity(seed, p):
+    """The multilevel repartitioner starts from the current assignment and
+    hill-climbs the Equation-1 objective: the result can never score worse
+    than doing nothing."""
+    rng = np.random.default_rng(seed)
+    g = grid_graph(10, vweights=weighted_refinement_profile(100, seed=seed))
+    current = rng.integers(0, p, 100)
+    new = multilevel_repartition(g, p, current, alpha=0.1, beta=0.8, seed=seed)
+    c_new = repartition_cost(g, current, new, p, 0.1, 0.8).total
+    c_id = repartition_cost(g, current, current, p, 0.1, 0.8).total
+    assert c_new <= c_id + 1e-9
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=15, deadline=None)
+def test_kl_objective_telescopes(seed):
+    """kl_refine's internal gains are the negated first differences of the
+    Equation-1 objective, so the objective must drop by at least min_gain
+    whenever the result differs from the input."""
+    rng = np.random.default_rng(seed)
+    g = grid_graph(8)
+    p = 3
+    a = rng.integers(0, p, 64)
+    home = rng.integers(0, p, 64)
+    cfg = KLConfig(alpha=0.2, beta=0.5, max_passes=4)
+    out = kl_refine(g, a, p, home=home, config=cfg)
+    before = repartition_cost(g, home, a, p, 0.2, 0.5).total
+    after = repartition_cost(g, home, out, p, 0.2, 0.5).total
+    assert after <= before + 1e-9
+    if not np.array_equal(out, a):
+        assert after < before
+
+
+@given(
+    refine_seed=st.integers(0, 10_000),
+    p=st.sampled_from([2, 4]),
+)
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_pnr_noop_without_adaptation(refine_seed, p):
+    """Repartitioning twice in a row (no adaptation in between) must barely
+    move anything: the first call already optimized the objective."""
+    rng = np.random.default_rng(refine_seed)
+    am = AdaptiveMesh.unit_square(8)
+    leaves = am.leaf_ids()
+    am.refine(leaves[rng.choice(len(leaves), size=20, replace=False)])
+    pnr = PNR(seed=refine_seed % 100)
+    cur = pnr.initial_partition(am, p)
+    new1 = pnr.repartition(am, p, cur)
+    new2 = pnr.repartition(am, p, new1)
+    g = coarse_dual_graph(am.mesh)
+    assert graph_migration(g, new1, new2) <= 0.05 * am.n_leaves + 8
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_induced_cut_equals_coarse_cut(seed):
+    """Edge weights of the coarse dual graph count fine adjacencies, so the
+    coarse cut equals the fine cut of the induced partition — for *any*
+    coarse assignment."""
+    from repro.mesh import cut_size, leaf_assignment_from_roots
+
+    rng = np.random.default_rng(seed)
+    am = AdaptiveMesh.unit_square(5)
+    leaves = am.leaf_ids()
+    am.refine(leaves[rng.choice(len(leaves), size=10, replace=False)])
+    g = coarse_dual_graph(am.mesh)
+    a = rng.integers(0, 4, am.n_roots)
+    assert cut_size(am.mesh, leaf_assignment_from_roots(am.mesh, a)) == graph_cut(g, a)
+
+
+@given(seed=st.integers(0, 10_000), alpha=st.sampled_from([0.0, 0.1, 1.0]))
+@settings(max_examples=15, deadline=None)
+def test_repartition_balances_within_granularity(seed, alpha):
+    rng = np.random.default_rng(seed)
+    p = 4
+    vw = weighted_refinement_profile(100, hot_weight=8.0, seed=seed)
+    g = grid_graph(10, vweights=vw)
+    current = rng.integers(0, p, 100)
+    new = multilevel_repartition(g, p, current, alpha=alpha, beta=0.8, seed=seed)
+    mean = vw.sum() / p
+    band = max(0.02 * mean, 0.5 * vw.max())
+    # final max load within the granularity-aware envelope (plus slack for
+    # hill-climbing limits on adversarial instances)
+    imb = graph_imbalance(g, new, p)
+    assert imb <= (band / mean) * 3 + 0.15, imb

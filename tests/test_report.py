@@ -1,0 +1,35 @@
+"""Tests for the reproduction-report generator."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import _SECTIONS, generate_report
+
+
+class TestGenerateReport:
+    def test_includes_present_results(self, tmp_path):
+        (tmp_path / "fig5_pnr_migration.txt").write_text("TABLE CONTENT 123")
+        text = generate_report(tmp_path)
+        assert "TABLE CONTENT 123" in text
+        assert "# Reproduction report" in text
+
+    def test_marks_missing(self, tmp_path):
+        text = generate_report(tmp_path)
+        assert "missing" in text
+        assert f"{len(_SECTIONS)} sections missing" in text
+
+    def test_writes_file(self, tmp_path):
+        out = tmp_path / "REPORT.md"
+        generate_report(tmp_path, out_path=out)
+        assert out.exists()
+        assert out.read_text().startswith("# Reproduction report")
+
+    def test_paper_relations_embedded(self, tmp_path):
+        text = generate_report(tmp_path)
+        assert "fig3_2d_ratio_mean" in text
+        assert "fig5_perm_equals_raw" in text
+
+    def test_every_section_has_claim(self):
+        for stem, title, claim in _SECTIONS:
+            assert stem and title and claim

@@ -1,0 +1,203 @@
+"""Tests for the simulated message-passing runtime."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.simmpi import SimComm, SimMPIAborted, spmd_run
+from repro.runtime.stats import PhaseTimer, TrafficStats
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send({"x": 1}, 1)
+                return None
+            return comm.recv(0)
+
+        res = spmd_run(2, prog)
+        assert res[1] == {"x": 1}
+
+    def test_tag_matching_out_of_order(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("first", 1, tag=1)
+                comm.send("second", 1, tag=2)
+                return None
+            b = comm.recv(0, tag=2)  # arrives second, requested first
+            a = comm.recv(0, tag=1)
+            return (a, b)
+
+        res = spmd_run(2, prog)
+        assert res[1] == ("first", "second")
+
+    def test_per_pair_fifo(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for k in range(20):
+                    comm.send(k, 1, tag=0)
+                return None
+            return [comm.recv(0, tag=0) for _ in range(20)]
+
+        res = spmd_run(2, prog)
+        assert res[1] == list(range(20))
+
+    def test_numpy_payload(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(100), 1)
+                return None
+            return comm.recv(0)
+
+        res = spmd_run(2, prog)
+        assert np.array_equal(res[1], np.arange(100))
+
+    def test_invalid_dest(self):
+        def prog(comm):
+            comm.send(1, 99)
+
+        with pytest.raises(RuntimeError):
+            spmd_run(2, prog)
+
+    def test_recv_timeout(self):
+        def prog(comm):
+            if comm.rank == 1:
+                comm.recv(0, timeout=0.2)
+
+        with pytest.raises(RuntimeError, match="timed out"):
+            spmd_run(2, prog)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def prog(comm):
+            return comm.bcast("payload" if comm.rank == 0 else None, root=0)
+
+        assert spmd_run(3, prog) == ["payload"] * 3
+
+    def test_bcast_nonzero_root(self):
+        def prog(comm):
+            return comm.bcast(comm.rank if comm.rank == 2 else None, root=2)
+
+        assert spmd_run(4, prog) == [2, 2, 2, 2]
+
+    def test_gather(self):
+        def prog(comm):
+            return comm.gather(comm.rank * 10, root=1)
+
+        res = spmd_run(3, prog)
+        assert res[1] == [0, 10, 20]
+        assert res[0] is None and res[2] is None
+
+    def test_scatter(self):
+        def prog(comm):
+            data = [f"r{i}" for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        assert spmd_run(4, prog) == ["r0", "r1", "r2", "r3"]
+
+    def test_scatter_wrong_length(self):
+        def prog(comm):
+            comm.scatter([1] if comm.rank == 0 else None, root=0)
+
+        with pytest.raises(RuntimeError):
+            spmd_run(2, prog)
+
+    def test_allgather(self):
+        def prog(comm):
+            return comm.allgather(comm.rank**2)
+
+        assert spmd_run(4, prog) == [[0, 1, 4, 9]] * 4
+
+    def test_allreduce_default_sum(self):
+        def prog(comm):
+            return comm.allreduce(comm.rank + 1)
+
+        assert spmd_run(4, prog) == [10] * 4
+
+    def test_allreduce_custom_op(self):
+        def prog(comm):
+            return comm.allreduce(comm.rank, op=max)
+
+        assert spmd_run(5, prog) == [4] * 5
+
+    def test_barrier(self):
+        import time
+
+        def prog(comm):
+            if comm.rank == 0:
+                time.sleep(0.05)
+            comm.barrier()
+            return True
+
+        assert spmd_run(3, prog) == [True, True, True]
+
+    def test_single_rank(self):
+        def prog(comm):
+            assert comm.allgather(5) == [5]
+            assert comm.bcast(7, root=0) == 7
+            comm.barrier()
+            return "ok"
+
+        assert spmd_run(1, prog) == ["ok"]
+
+
+class TestErrorsAndStats:
+    def test_exception_propagates_with_rank(self):
+        def prog(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="rank 2"):
+            spmd_run(4, prog)
+
+    def test_peer_recv_does_not_hang(self):
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("dead")
+            comm.recv(0, timeout=30.0)
+
+        with pytest.raises(RuntimeError, match="rank 0"):
+            spmd_run(2, prog)
+
+    def test_traffic_accounting(self):
+        def prog(comm):
+            comm.set_phase("A")
+            comm.allgather(comm.rank)
+            comm.set_phase("B")
+            if comm.rank == 0:
+                comm.send("x", 1)
+            elif comm.rank == 1:
+                comm.recv(0)
+
+        _, stats = spmd_run(2, prog, return_stats=True)
+        rep = stats.phase_report()
+        assert rep["B"][0] == 1
+        assert rep["A"][0] == 2  # gather to 0 + bcast back
+        assert stats.total_bytes > 0
+        assert stats.total_messages == 3
+
+    def test_needs_at_least_one_rank(self):
+        with pytest.raises(ValueError):
+            spmd_run(0, lambda comm: None)
+
+
+class TestStatsObjects:
+    def test_traffic_stats_reset(self):
+        s = TrafficStats()
+        s.record(0, 1, 100, "P1")
+        s.record(1, 0, 50, "P1")
+        assert s.total_messages == 2
+        assert s.by_pair[(0, 1)] == 1
+        s.reset()
+        assert s.total_messages == 0
+
+    def test_phase_timer(self):
+        import time
+
+        t = PhaseTimer()
+        with t.phase("solve"):
+            time.sleep(0.01)
+        assert t.totals["solve"] > 0.005
+        t.stop("never-started")  # no-op
