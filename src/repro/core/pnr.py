@@ -50,6 +50,11 @@ class PNR:
     repartition_coarsest, constrain_matching:
         Ablation switches forwarded to
         :func:`repro.core.repartition_kl.multilevel_repartition`.
+    audit:
+        When True, every :meth:`repartition` result is checked against the
+        :mod:`repro.testing` invariants (partition validity,
+        monotone-or-rollback cost) before it is returned; violations raise
+        :class:`~repro.testing.InvariantViolation`.
     """
 
     alpha: float = 0.1
@@ -58,6 +63,7 @@ class PNR:
     seed: int = 0
     repartition_coarsest: bool = False
     constrain_matching: bool = True
+    audit: bool = False
 
     def initial_partition(self, mesh, p: int) -> np.ndarray:
         """Partition the coarse dual graph of ``mesh`` into ``p`` subsets
@@ -75,7 +81,7 @@ class PNR:
         ``current`` (the assignment of coarse trees to processors)."""
         mesh = getattr(mesh, "mesh", mesh)
         graph = coarse_dual_graph(mesh)
-        return multilevel_repartition(
+        new = multilevel_repartition(
             graph,
             p,
             current,
@@ -86,6 +92,16 @@ class PNR:
             repartition_coarsest=self.repartition_coarsest,
             constrain_matching=self.constrain_matching,
         )
+        if self.audit:
+            # lazy import: repro.testing depends on repro.core.cost
+            from repro.testing import (
+                check_monotone_refinement,
+                check_partition_validity,
+            )
+
+            check_partition_validity(new, p, graph.n_vertices)
+            check_monotone_refinement(graph, p, current, new, self.alpha, self.beta)
+        return new
 
     @staticmethod
     def induced_fine(mesh, coarse_assignment: np.ndarray) -> np.ndarray:

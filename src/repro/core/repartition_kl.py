@@ -24,8 +24,23 @@ import numpy as np
 from repro.graph.csr import WeightedGraph
 from repro.partition.greedy import greedy_graph_growing
 from repro.partition.kl import KLConfig, kl_refine
-from repro.partition.metrics import graph_imbalance, validate_assignment
+from repro.partition.metrics import (
+    balance_cost,
+    graph_cut,
+    graph_migration,
+    validate_assignment,
+)
 from repro.partition.multilevel import build_hierarchy, project_up
+
+
+def _equation1(graph, home, assignment, p, alpha, beta) -> float:
+    """The literal Equation-1 objective (quadratic balance), evaluated on
+    the fine graph — the yardstick of the identity guard below."""
+    return (
+        graph_cut(graph, assignment)
+        + alpha * graph_migration(graph, home, assignment)
+        + beta * balance_cost(graph, assignment, p)
+    )
 
 
 def _project_down(assignment: np.ndarray, cmap: np.ndarray, vwts: np.ndarray, nc: int):
@@ -112,4 +127,13 @@ def multilevel_repartition(
         assignment = kl_refine(
             graphs[level], assignment, p, home=homes[level], config=cfg
         )
+    # Monotone-or-rollback: the repartitioner hill-climbs from ``current``,
+    # so identity is always a candidate.  KL optimizes the deadband form of
+    # the balance term; under the literal quadratic Equation 1 an in-band
+    # rebalance can still score worse than doing nothing, in which case
+    # doing nothing is what we return.
+    if _equation1(graph, current, assignment, p, alpha, beta) > _equation1(
+        graph, current, current, p, alpha, beta
+    ) + 1e-9:
+        return current.copy()
     return assignment

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.mesh.adapt import AdaptiveMesh
 from repro.mesh.coarsen import coarsen as serial_coarsen
+from repro.runtime.faults import recv_with_retry
 
 
 class DistributedMesh:
@@ -174,12 +175,18 @@ class DistributedMesh:
         return {"v": vw, "e": ew}
 
     def send_weights_to_coordinator(self, update: dict, coordinator: int = 0):
-        """Phase P2: ship the weight deltas to ``P_C``."""
+        """Phase P2: ship the weight deltas to ``P_C``.
+
+        The coordinator's receives use the PARED-side retry/backoff
+        discipline (:func:`~repro.runtime.faults.recv_with_retry`): under an
+        active fault plan a delayed delivery costs retries, not the run; on
+        the plain runtime this is a single receive, unchanged.
+        """
         if self.rank == coordinator:
             msgs = [update]
             for src in range(self.comm.size):
                 if src != coordinator:
-                    msgs.append(self.comm.recv(src, tag=20))
+                    msgs.append(recv_with_retry(self.comm, src, tag=20))
             return msgs
         self.comm.send(update, coordinator, tag=20)
         return None

@@ -16,6 +16,8 @@ from collections import defaultdict
 
 import numpy as np
 
+from repro.runtime.faults import recv_with_retry
+
 
 def migration_directives(old_owner: np.ndarray, new_owner: np.ndarray) -> list:
     """``(root, src, dst)`` for every root whose owner changes."""
@@ -79,7 +81,9 @@ def execute_migration(comm, dmesh, new_owner: np.ndarray, coordinator: int = 0) 
     for src in range(comm.size):
         if src == comm.rank:
             continue
-        payload = comm.recv(src, tag=31)
+        # tree payloads ride the retry/backoff discipline: a delayed
+        # delivery under fault injection is retried, not fatal
+        payload = recv_with_retry(comm, src, tag=31)
         received += len(payload)
 
     dmesh.owner = new_owner.copy()

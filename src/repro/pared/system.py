@@ -28,7 +28,15 @@ from repro.mesh.metrics import cut_size, shared_vertex_count
 from repro.pared.distmesh import DistributedMesh
 from repro.pared.migrate import execute_migration
 from repro.partition.multilevel import multilevel_partition
+from repro.runtime.faults import FaultPlan
 from repro.runtime.simmpi import spmd_run
+from repro.testing import (
+    check_dual_graph_weights,
+    check_migration_conservation,
+    check_monotone_refinement,
+    check_partition_validity,
+    check_replica_agreement,
+)
 
 
 @dataclass
@@ -55,6 +63,17 @@ class ParedConfig:
         this (the paper's "user-supplied workload imbalance").
     coordinator:
         Rank playing ``P_C``.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan` perturbing the
+        simulated wire (``None`` — the default — keeps the runtime on its
+        original zero-overhead path).
+    audit:
+        When True, every round ends with the :mod:`repro.testing`
+        invariant checks (partition validity, replica agreement, migration
+        conservation, dual-graph weight consistency, monotone-or-rollback
+        refinement); violations raise
+        :class:`~repro.testing.InvariantViolation`.  Audit traffic is
+        labelled phase ``audit`` so P0–P3 accounting stays clean.
     """
 
     p: int
@@ -64,6 +83,8 @@ class ParedConfig:
     pnr: PNR = field(default_factory=PNR)
     imbalance_trigger: float = 0.05
     coordinator: int = 0
+    faults: Optional[FaultPlan] = None
+    audit: bool = False
 
 
 class _CoordinatorGraph:
@@ -129,6 +150,8 @@ def _pared_rank(comm, cfg: ParedConfig):
         my_coarsen = [e for e in coarsen_ids if int(e) in owned]
         dmesh.parallel_coarsen(my_coarsen)
 
+        leaves_before = amesh.leaf_ids().copy()
+
         # ---- P1: local weights ---------------------------------------- #
         comm.set_phase("P1")
         full = dmesh.local_weight_update(None)
@@ -165,6 +188,26 @@ def _pared_rank(comm, cfg: ParedConfig):
         old_owner = dmesh.owner.copy()
         mig = execute_migration(comm, dmesh, new_owner, coordinator=C)
 
+        # ---- audit: executable invariants of the round ----------------- #
+        if cfg.audit:
+            comm.set_phase("audit")
+            check_partition_validity(dmesh.owner, comm.size, amesh.n_roots)
+            check_replica_agreement(comm, dmesh.owner)
+            owned_all = comm.allgather(dmesh.owned_leaf_ids().tolist(), tag=91)
+            check_migration_conservation(
+                leaves_before, amesh.leaf_ids(), owned_all
+            )
+            if comm.rank == C:
+                # the coordinator's G was assembled purely from P2
+                # messages — auditing it against a brute-force recount
+                # verifies the distributed weight protocol end to end
+                check_dual_graph_weights(amesh.mesh, graph)
+                if imb is not None and imb > cfg.imbalance_trigger:
+                    check_monotone_refinement(
+                        graph, comm.size, old_owner, dmesh.owner,
+                        cfg.pnr.alpha, cfg.pnr.beta,
+                    )
+
         # ---- metrics (identical on every replica) ---------------------- #
         fine = leaf_assignment_from_roots(amesh.mesh, dmesh.owner)
         history.append(
@@ -188,4 +231,4 @@ def run_pared(cfg: ParedConfig):
     """Run the PARED loop; returns ``(histories, traffic_stats)`` where
     ``histories[r]`` is rank ``r``'s per-round record list (replica metrics
     agree across ranks; ``local_load`` differs)."""
-    return spmd_run(cfg.p, _pared_rank, cfg, return_stats=True)
+    return spmd_run(cfg.p, _pared_rank, cfg, return_stats=True, faults=cfg.faults)

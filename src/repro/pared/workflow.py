@@ -18,7 +18,7 @@ the shared :class:`~repro.runtime.stats.TrafficStats`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -32,12 +32,24 @@ from repro.pared.distmesh import DistributedMesh
 from repro.pared.migrate import execute_migration
 from repro.pared.solver import DistributedPoissonSolver
 from repro.partition.multilevel import multilevel_partition
+from repro.runtime.faults import FaultPlan
 from repro.runtime.simmpi import spmd_run
+from repro.testing import (
+    check_migration_conservation,
+    check_partition_validity,
+    check_replica_agreement,
+)
 
 
 @dataclass
 class WorkflowConfig:
-    """Configuration of the solve-driven PARED loop."""
+    """Configuration of the solve-driven PARED loop.
+
+    ``faults`` and ``audit`` mirror
+    :class:`~repro.pared.system.ParedConfig`: the former injects a seeded
+    :class:`~repro.runtime.faults.FaultPlan` into the wire, the latter runs
+    the :mod:`repro.testing` invariant checks at the end of every round.
+    """
 
     p: int
     make_mesh: Callable[[], AdaptiveMesh]
@@ -48,6 +60,8 @@ class WorkflowConfig:
     imbalance_trigger: float = 0.05
     coordinator: int = 0
     cg_rtol: float = 1e-8
+    faults: Optional[FaultPlan] = None
+    audit: bool = False
 
 
 def _workflow_rank(comm, cfg: WorkflowConfig):
@@ -122,7 +136,17 @@ def _workflow_rank(comm, cfg: WorkflowConfig):
         else:
             new_owner = None
             imb = None
+        leaves_before = amesh.leaf_ids().copy()
         mig = execute_migration(comm, dmesh, new_owner, coordinator=C)
+
+        if cfg.audit:
+            comm.set_phase("audit")
+            check_partition_validity(dmesh.owner, comm.size, amesh.n_roots)
+            check_replica_agreement(comm, dmesh.owner)
+            owned_all = comm.allgather(dmesh.owned_leaf_ids().tolist(), tag=91)
+            check_migration_conservation(
+                leaves_before, amesh.leaf_ids(), owned_all
+            )
 
         fine = leaf_assignment_from_roots(amesh.mesh, dmesh.owner)
         history.append(
@@ -144,4 +168,6 @@ def _workflow_rank(comm, cfg: WorkflowConfig):
 def run_workflow(cfg: WorkflowConfig):
     """Run the solve→estimate→adapt→repartition loop on ``cfg.p`` ranks;
     returns ``(histories, traffic_stats)``."""
-    return spmd_run(cfg.p, _workflow_rank, cfg, return_stats=True)
+    return spmd_run(
+        cfg.p, _workflow_rank, cfg, return_stats=True, faults=cfg.faults
+    )

@@ -44,7 +44,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graph.csr import WeightedGraph
-from repro.partition.metrics import validate_assignment
+from repro.partition.metrics import graph_cut, validate_assignment
 
 
 @dataclass
@@ -166,6 +166,17 @@ class _KLState:
         before = self._phi(Wi) + self._phi(Wj)
         after = self._phi(Wi - w) + self._phi(Wj + w)
         return self.cfg.beta * (before - after)
+
+    def objective(self) -> float:
+        """The full configured objective at the current assignment:
+        ``C_cut + α·C_migrate + β·Σφ(W_i)`` with the active balance mode."""
+        obj = graph_cut(self.graph, self.assign)
+        if self.home is not None and self.cfg.alpha:
+            moved = self.assign != self.home
+            obj += self.cfg.alpha * float(self.vwts[moved].sum())
+        if self.cfg.beta:
+            obj += self.cfg.beta * float(sum(self._phi(W) for W in self.weights))
+        return float(obj)
 
     def admissible(self, v: int, j: int) -> bool:
         """Hard balance envelope (see :class:`KLConfig`)."""
@@ -309,8 +320,23 @@ def kl_refine(
     if home is not None:
         home = validate_assignment(graph, home, p)
     state = _KLState(graph, p, assign, home, cfg)
+    # Track the best-seen partition under the *full* objective.  The
+    # per-pass incremental gains telescope that objective exactly, but
+    # guarding on the evaluated value makes refinement monotone-or-rollback
+    # by construction: a pass whose bookkeeping drifts (or a later pass
+    # that trades away an earlier gain) can never make the returned
+    # partition worse than the best state ever reached — in particular
+    # never worse than the input.
+    best = state.assign.copy()
+    best_obj = state.objective()
     for _ in range(cfg.max_passes):
         improved = _kl_pass(state)
+        obj = state.objective()
+        if obj < best_obj - cfg.min_gain:
+            best_obj = obj
+            best[:] = state.assign
         if improved <= cfg.min_gain:
             break
+    if state.objective() > best_obj + cfg.min_gain:
+        return best
     return state.assign

@@ -11,6 +11,13 @@ with full per-phase traffic accounting
 exact message and byte counts deterministically.
 """
 
+from repro.runtime.faults import (
+    FaultLog,
+    FaultPlan,
+    FaultToleranceExhausted,
+    SimRankCrashed,
+    recv_with_retry,
+)
 from repro.runtime.simmpi import Request, SimComm, spmd_run
 from repro.runtime.stats import TrafficStats, PhaseTimer
 from repro.runtime.costmodel import (
@@ -27,6 +34,11 @@ __all__ = [
     "SimComm",
     "Request",
     "spmd_run",
+    "FaultPlan",
+    "FaultLog",
+    "FaultToleranceExhausted",
+    "SimRankCrashed",
+    "recv_with_retry",
     "TrafficStats",
     "PhaseTimer",
     "NetworkProfile",

@@ -1,0 +1,202 @@
+"""Deterministic fault injection for the simulated runtime.
+
+The algorithms under study are defined by their communication structure, so
+the natural way to harden them is to perturb the *wire* while demanding the
+application-visible behaviour stay exactly-once, in-order — the guarantee a
+production transport (MPI over a lossy fabric, TCP) provides.  A seeded
+:class:`FaultPlan` describes, per ordered rank pair, which messages are
+
+* **reordered** — held on the wire just long enough for the next message on
+  the same channel to overtake it;
+* **delayed** — held long enough to trip the receiver's patience, forcing
+  the retry/backoff path;
+* **duplicated** — enqueued twice, exercising receiver-side dedup;
+
+plus an optional **rank crash** after a fixed number of communication
+operations, which must surface as a clean :class:`SimRankCrashed`
+diagnostic in the caller, never a hang.
+
+Decisions are drawn from one :class:`random.Random` stream per ordered
+``(src, dst)`` channel, seeded by ``(plan.seed, src, dst)`` and indexed by
+the channel's send sequence.  Because only the sending rank's thread draws
+from its own channels, the set of injected faults is a pure function of the
+plan — independent of thread scheduling — so every failing schedule can be
+replayed from its seed.
+
+When a plan is active, messages travel in *envelopes* ``(tag, seq,
+not_before, payload)`` and the receiving side resequences by ``seq``,
+drops duplicates, and honours ``not_before`` (the injected network latency).
+With ``plan=None`` the runtime uses its original wire format and code path
+untouched — fault injection is strictly zero-overhead when disabled.
+
+Every injected event is appended to a shared :class:`FaultLog` so tests can
+assert that a plan actually perturbed the wire (a chaos run that injected
+nothing proves nothing).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+#: seconds a "reordered" message is held — long enough for the receiver's
+#: 50 ms poll to observe the inversion, short enough never to trip a
+#: default timeout
+_REORDER_HOLD = 0.12
+
+
+class SimRankCrashed(RuntimeError):
+    """A rank was killed by the fault plan (crash-at-op)."""
+
+
+class FaultToleranceExhausted(TimeoutError):
+    """A receive timed out and every configured retry was used up.
+
+    Subclasses :class:`TimeoutError` so callers treating timeouts generically
+    (``Request.test``) keep working; the message documents rank, peer, tag
+    and the attempt schedule, which is the "documented error" a degraded run
+    must end in.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of which faults to inject.
+
+    Attributes
+    ----------
+    seed:
+        Root seed; all per-channel decision streams derive from it.
+    reorder_rate:
+        Probability a message is held back just long enough for the next
+        message on its ``(src, dst)`` channel to overtake it on the wire.
+    duplicate_rate:
+        Probability a message is delivered twice (same sequence number; the
+        receiver must dedupe).
+    delay_rate:
+        Probability a message's delivery is delayed by :attr:`delay`
+        seconds (the injected latency that trips the receive-timeout path).
+    delay:
+        Injected latency in seconds for delayed messages.  Pick it larger
+        than :attr:`recv_timeout` to force at least one retry.
+    crash_rank:
+        If not ``None``, this rank raises :class:`SimRankCrashed` when its
+        communication-operation counter (sends + receives + barriers)
+        reaches :attr:`crash_at_op`.
+    crash_at_op:
+        Operation count at which :attr:`crash_rank` dies.
+    recv_timeout:
+        Per-attempt receive patience in seconds (``None`` keeps the
+        runtime default).  The total patience of a receive is the sum of
+        the per-attempt timeouts across retries.
+    max_retries:
+        How many times a timed-out receive is retried before raising
+        :class:`FaultToleranceExhausted`.
+    backoff:
+        Multiplier applied to the attempt timeout after each retry.
+    """
+
+    seed: int = 0
+    reorder_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay: float = 0.3
+    crash_rank: int | None = None
+    crash_at_op: int = 0
+    recv_timeout: float | None = None
+    max_retries: int = 0
+    backoff: float = 2.0
+
+    def channel_rng(self, src: int, dst: int) -> random.Random:
+        """Decision stream for the ordered channel ``src -> dst``."""
+        return random.Random(f"faultplan:{self.seed}:{src}:{dst}")
+
+    @property
+    def perturbs_wire(self) -> bool:
+        return bool(
+            self.reorder_rate or self.duplicate_rate or self.delay_rate
+        )
+
+
+class FaultLog:
+    """Thread-safe record of every injected fault event.
+
+    Entries are ``(kind, src, dst, seq)`` with ``kind`` one of ``reorder``,
+    ``duplicate``, ``delay``, ``retry``, ``crash`` (``dst``/``seq`` are -1
+    where they do not apply).  Tests assert on :meth:`count` to prove a
+    plan actually exercised the wire.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.events: list = []
+
+    def record(self, kind: str, src: int, dst: int = -1, seq: int = -1) -> None:
+        with self._lock:
+            self.events.append((kind, src, dst, seq))
+
+    def count(self, kind: str) -> int:
+        with self._lock:
+            return sum(1 for e in self.events if e[0] == kind)
+
+    def kinds(self) -> dict:
+        """``{kind: count}`` summary."""
+        with self._lock:
+            out: dict = {}
+            for e in self.events:
+                out[e[0]] = out.get(e[0], 0) + 1
+            return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.events)
+
+
+def recv_with_retry(
+    comm,
+    source: int,
+    tag: int = 0,
+    timeout: float = None,
+    retries: int = None,
+    backoff: float = None,
+):
+    """Receive with the PARED-side timeout/retry/backoff discipline.
+
+    On a plain (fault-free) communicator this is exactly one ``recv`` with
+    the default patience — zero behavioural change.  Under an active
+    :class:`FaultPlan` the per-attempt timeout, retry budget and backoff
+    default to the plan's values, so the distributed phases (P2 weight
+    gather, P3 tree payloads) survive injected delivery delays by retrying
+    instead of dying on the first timeout.
+
+    Raises :class:`FaultToleranceExhausted` when the budget is spent.
+    """
+    plan = getattr(comm, "fault_plan", None)
+    log = getattr(comm, "fault_log", None)
+    if timeout is None:
+        timeout = plan.recv_timeout if plan is not None else None
+    if retries is None:
+        retries = plan.max_retries if plan is not None else 0
+    if backoff is None:
+        backoff = plan.backoff if plan is not None else 2.0
+    kwargs = {} if timeout is None else {"timeout": timeout}
+    attempt_timeout = timeout
+    for attempt in range(retries + 1):
+        try:
+            return comm.recv(source, tag, **kwargs)
+        except FaultToleranceExhausted:
+            raise  # comm.recv already ran its own retry schedule
+        except TimeoutError:
+            if attempt == retries:
+                raise FaultToleranceExhausted(
+                    f"rank {comm.rank} gave up receiving from rank {source} "
+                    f"tag {tag} after {retries + 1} attempts "
+                    f"(per-attempt timeout {attempt_timeout}, backoff {backoff})"
+                )
+            if log is not None:
+                log.record("retry", comm.rank, source, attempt)
+            if attempt_timeout is not None:
+                attempt_timeout *= backoff
+                kwargs = {"timeout": attempt_timeout}
+    raise AssertionError("unreachable")

@@ -12,6 +12,12 @@ mpi4py's lowercase API uses — and recorded per phase in a shared
 Error containment: an exception on any rank cancels the run and is re-raised
 in the caller (with the originating rank), instead of deadlocking the other
 ranks; their pending ``recv`` calls raise :class:`SimMPIAborted`.
+
+Fault injection: ``spmd_run(..., faults=FaultPlan(...))`` perturbs the wire
+(reorder, delay, duplication, rank crash) while the communicator keeps its
+exactly-once in-order delivery guarantee — see :mod:`repro.runtime.faults`.
+With ``faults=None`` (the default) every code path below is byte-for-byte
+the original: fault support costs nothing when disabled.
 """
 
 from __future__ import annotations
@@ -19,7 +25,15 @@ from __future__ import annotations
 import pickle
 import queue
 import threading
+import time
 
+from repro.runtime.faults import (
+    FaultLog,
+    FaultPlan,
+    FaultToleranceExhausted,
+    SimRankCrashed,
+    _REORDER_HOLD,
+)
 from repro.runtime.stats import TrafficStats
 
 _DEFAULT_TIMEOUT = 120.0
@@ -32,7 +46,7 @@ class SimMPIAborted(RuntimeError):
 class _Shared:
     """State shared by all ranks of one spmd_run."""
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, faults: FaultPlan = None):
         self.size = size
         # one FIFO per ordered pair keeps per-pair ordering MPI-like
         self.queues = {
@@ -41,6 +55,10 @@ class _Shared:
         self.stats = TrafficStats()
         self.abort = threading.Event()
         self.barrier = threading.Barrier(size)
+        self.faults = faults
+        self.fault_log = FaultLog() if faults is not None else None
+        if faults is not None:
+            self.stats.fault_log = self.fault_log
 
 
 class Request:
@@ -84,6 +102,23 @@ class SimComm:
         self.phase = "default"
         # out-of-order tag buffer per source
         self._stash = {}
+        self._faults = shared.faults
+        if self._faults is not None:
+            self._ops = 0  # communication-op counter for crash-at-op
+            self._out_seq = {}  # dst -> next sequence number to send
+            self._rng = {}  # dst -> per-channel decision stream
+            self._next_seq = {}  # src -> next sequence number to deliver
+            self._reseq = {}  # src -> {seq: (tag, not_before, payload)}
+
+    @property
+    def fault_plan(self) -> FaultPlan:
+        """The active :class:`FaultPlan`, or ``None``."""
+        return self._faults
+
+    @property
+    def fault_log(self) -> FaultLog:
+        """Shared log of injected fault events (``None`` without a plan)."""
+        return self._shared.fault_log
 
     # ------------------------------------------------------------------ #
     # phases
@@ -107,15 +142,22 @@ class SimComm:
             raise SimMPIAborted("run aborted")
         if not (0 <= dest < self.size):
             raise ValueError(f"invalid dest {dest}")
+        if self._faults is not None:
+            self._send_faulty(obj, dest, tag)
+            return
         payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         self._shared.stats.record(self.rank, dest, len(payload), self.phase)
         self._shared.queues[(self.rank, dest)].put((tag, payload))
 
-    def recv(self, source: int, tag: int = 0, timeout: float = _DEFAULT_TIMEOUT):
+    def recv(self, source: int, tag: int = 0, timeout: float = None):
         """Blocking receive of the next message from ``source`` with ``tag``
         (out-of-order tags are stashed)."""
         if not (0 <= source < self.size):
             raise ValueError(f"invalid source {source}")
+        if self._faults is not None:
+            return self._recv_faulty(source, tag, timeout)
+        if timeout is None:
+            timeout = _DEFAULT_TIMEOUT
         stash = self._stash.setdefault(source, {})
         if tag in stash and stash[tag]:
             return pickle.loads(stash[tag].pop(0))
@@ -135,6 +177,126 @@ class SimComm:
             if got_tag == tag:
                 return pickle.loads(payload)
             stash.setdefault(got_tag, []).append(payload)
+
+    # ------------------------------------------------------------------ #
+    # fault-injected wire (active only under a FaultPlan)
+    # ------------------------------------------------------------------ #
+
+    def _count_op(self) -> None:
+        """Advance the crash clock; dies when the plan says so."""
+        plan = self._faults
+        self._ops += 1
+        if plan.crash_rank == self.rank and self._ops >= plan.crash_at_op:
+            self._shared.fault_log.record("crash", self.rank, seq=self._ops)
+            raise SimRankCrashed(
+                f"rank {self.rank} crashed (injected fault) at "
+                f"communication op {self._ops}"
+            )
+
+    def _send_faulty(self, obj, dest: int, tag: int) -> None:
+        """Envelope the message and apply the plan's wire perturbations.
+
+        Traffic statistics record the *logical* message exactly once —
+        duplicates and delays are wire artifacts, visible in the fault log
+        but not in the algorithm's communication accounting.
+        """
+        plan = self._faults
+        self._count_op()
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self._shared.stats.record(self.rank, dest, len(payload), self.phase)
+        seq = self._out_seq.get(dest, 0)
+        self._out_seq[dest] = seq + 1
+        rng = self._rng.get(dest)
+        if rng is None:
+            rng = self._rng[dest] = plan.channel_rng(self.rank, dest)
+        # one draw per knob, always, so decision streams stay aligned
+        # across plans that differ only in rates
+        u_dup, u_reorder, u_delay = rng.random(), rng.random(), rng.random()
+        log = self._shared.fault_log
+        not_before = 0.0
+        if plan.delay_rate and u_delay < plan.delay_rate:
+            not_before = time.monotonic() + plan.delay
+            log.record("delay", self.rank, dest, seq)
+        elif plan.reorder_rate and u_reorder < plan.reorder_rate:
+            # held just long enough for the channel's next message to
+            # overtake it on the wire
+            not_before = time.monotonic() + _REORDER_HOLD
+            log.record("reorder", self.rank, dest, seq)
+        q = self._shared.queues[(self.rank, dest)]
+        envelope = (tag, seq, not_before, payload)
+        q.put(envelope)
+        if plan.duplicate_rate and u_dup < plan.duplicate_rate:
+            q.put(envelope)
+            log.record("duplicate", self.rank, dest, seq)
+
+    def _recv_faulty(self, source: int, tag: int, timeout):
+        """Resequencing receive: dedupes, restores per-channel order, and
+        honours injected latency.
+
+        When the caller passes no explicit ``timeout``, patience is the
+        plan's ``recv_timeout`` per attempt with ``max_retries`` retries and
+        exponential backoff; exhaustion raises
+        :class:`FaultToleranceExhausted` (a documented error, never a hang).
+        An explicit ``timeout`` means the caller manages its own retries
+        (see :func:`repro.runtime.faults.recv_with_retry`).
+        """
+        plan = self._faults
+        self._count_op()
+        if timeout is not None:
+            return self._recv_attempt(source, tag, timeout)
+        attempt_timeout = (
+            plan.recv_timeout if plan.recv_timeout is not None else _DEFAULT_TIMEOUT
+        )
+        for attempt in range(plan.max_retries + 1):
+            try:
+                return self._recv_attempt(source, tag, attempt_timeout)
+            except TimeoutError:
+                if attempt == plan.max_retries:
+                    if plan.max_retries:
+                        raise FaultToleranceExhausted(
+                            f"rank {self.rank} gave up receiving from rank "
+                            f"{source} tag {tag} after {plan.max_retries + 1} "
+                            f"attempts (backoff {plan.backoff})"
+                        )
+                    raise
+                self._shared.fault_log.record("retry", self.rank, source, attempt)
+                attempt_timeout *= plan.backoff
+
+    def _recv_attempt(self, source: int, tag: int, timeout: float):
+        """One bounded attempt at delivering the next in-order message."""
+        stash = self._stash.setdefault(source, {})
+        if tag in stash and stash[tag]:
+            return pickle.loads(stash[tag].pop(0))
+        buf = self._reseq.setdefault(source, {})
+        q = self._shared.queues[(source, self.rank)]
+        remaining = timeout
+        while True:
+            if self._shared.abort.is_set():
+                raise SimMPIAborted("run aborted")
+            # deliver the next in-sequence envelope once its injected
+            # latency has elapsed
+            nxt = self._next_seq.get(source, 0)
+            entry = buf.get(nxt)
+            if entry is not None and entry[1] <= time.monotonic():
+                del buf[nxt]
+                self._next_seq[source] = nxt + 1
+                got_tag, _, payload = entry
+                if got_tag == tag:
+                    return pickle.loads(payload)
+                stash.setdefault(got_tag, []).append(payload)
+                continue
+            try:
+                got_tag, seq, not_before, payload = q.get(timeout=0.05)
+            except queue.Empty:
+                remaining -= 0.05
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"rank {self.rank} timed out receiving from {source} tag {tag}"
+                    )
+                continue
+            if seq < self._next_seq.get(source, 0) or seq in buf:
+                continue  # duplicate delivery — drop
+            buf[seq] = (got_tag, not_before, payload)
 
     def isend(self, obj, dest: int, tag: int = 0) -> "Request":
         """Nonblocking send.  The simulated send buffers immediately, so the
@@ -224,19 +386,29 @@ class SimComm:
     def barrier(self) -> None:
         if self._shared.abort.is_set():
             raise SimMPIAborted("run aborted")
+        if self._faults is not None:
+            self._count_op()
         self._shared.barrier.wait(timeout=_DEFAULT_TIMEOUT)
 
 
-def spmd_run(size: int, fn, *args, return_stats: bool = False, **kwargs):
+def spmd_run(
+    size: int, fn, *args, return_stats: bool = False, faults: FaultPlan = None, **kwargs
+):
     """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks.
 
     Returns the list of per-rank return values (plus the
     :class:`TrafficStats` if ``return_stats``).  The first rank exception is
     re-raised with its rank attached.
+
+    ``faults`` activates the deterministic fault-injection wire of
+    :mod:`repro.runtime.faults`; injected events land on
+    ``stats.fault_log``.  An injected crash re-raises as
+    :class:`~repro.runtime.faults.SimRankCrashed` with the rank and op in
+    the message.
     """
     if size < 1:
         raise ValueError("need at least one rank")
-    shared = _Shared(size)
+    shared = _Shared(size, faults=faults)
     results = [None] * size
     errors = [None] * size
 
@@ -266,6 +438,10 @@ def spmd_run(size: int, fn, *args, return_stats: bool = False, **kwargs):
     ]
     if primary:
         rank, exc = primary[0]
+        if isinstance(exc, SimRankCrashed):
+            # A plan-injected crash is an expected diagnostic, not a wrapped
+            # failure: surface it typed and clean.
+            raise exc
         raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
     for rank, exc in enumerate(errors):
         if exc is not None and not isinstance(exc, SimMPIAborted):

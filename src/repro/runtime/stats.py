@@ -21,6 +21,9 @@ class TrafficStats:
         self.messages = defaultdict(int)  # phase -> count
         self.bytes = defaultdict(int)  # phase -> payload bytes
         self.by_pair = defaultdict(int)  # (src, dst) -> count
+        #: set by spmd_run when a FaultPlan is active (a
+        #: :class:`~repro.runtime.faults.FaultLog`), else None
+        self.fault_log = None
 
     def record(self, src: int, dst: int, nbytes: int, phase: str) -> None:
         with self._lock:

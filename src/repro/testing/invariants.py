@@ -1,0 +1,152 @@
+"""Executable invariants of a PNR/PARED repartitioning round.
+
+Each checker raises :class:`InvariantViolation` (an ``AssertionError``
+subclass, so plain ``pytest`` reporting works) with enough context to
+replay the failure.  Checkers take plain data — owner arrays, meshes,
+graphs — so they run identically inside a rank function, in a property
+test, or in a post-mortem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.testing.bruteforce import (
+    brute_force_cross_root_edges,
+    brute_force_leaf_counts,
+)
+
+
+class InvariantViolation(AssertionError):
+    """A PNR/PARED invariant failed; the message names which and where."""
+
+
+def _fail(name: str, detail: str):
+    raise InvariantViolation(f"invariant '{name}' violated: {detail}")
+
+
+def check_partition_validity(owner, size: int, n_roots: int = None) -> None:
+    """Every coarse element (hence every leaf of its tree) is owned by
+    exactly one existing rank: the owner map is a total function into
+    ``range(size)``."""
+    owner = np.asarray(owner)
+    if n_roots is not None and owner.shape[0] != n_roots:
+        _fail(
+            "partition-validity",
+            f"owner covers {owner.shape[0]} roots, mesh has {n_roots}",
+        )
+    if owner.ndim != 1:
+        _fail("partition-validity", f"owner must be 1-D, got shape {owner.shape}")
+    if not np.issubdtype(owner.dtype, np.integer):
+        _fail("partition-validity", f"owner dtype {owner.dtype} is not integral")
+    if owner.size and (owner.min() < 0 or owner.max() >= size):
+        bad = np.nonzero((owner < 0) | (owner >= size))[0]
+        _fail(
+            "partition-validity",
+            f"roots {bad[:10].tolist()} assigned to ranks outside 0..{size - 1}",
+        )
+
+
+def check_migration_conservation(
+    leaves_before, leaves_after, owned_after_by_rank=None
+) -> None:
+    """A repartition/migration step moves elements, it never creates or
+    destroys them: the leaf multiset is preserved, and (when the per-rank
+    owned sets are supplied) those sets are disjoint and tile the mesh."""
+    before = np.sort(np.asarray(leaves_before))
+    after = np.sort(np.asarray(leaves_after))
+    if before.shape != after.shape or not np.array_equal(before, after):
+        _fail(
+            "migration-conservation",
+            f"leaf multiset changed across migration: "
+            f"{before.shape[0]} leaves before, {after.shape[0]} after",
+        )
+    if owned_after_by_rank is not None:
+        combined: list = []
+        for rank_leaves in owned_after_by_rank:
+            combined.extend(int(e) for e in rank_leaves)
+        if len(combined) != len(set(combined)):
+            _fail(
+                "migration-conservation",
+                "some leaf is owned by more than one rank",
+            )
+        if set(combined) != set(int(e) for e in after):
+            missing = set(int(e) for e in after) - set(combined)
+            _fail(
+                "migration-conservation",
+                f"{len(missing)} leaves owned by no rank, e.g. "
+                f"{sorted(missing)[:10]}",
+            )
+
+
+def check_dual_graph_weights(mesh, graph) -> None:
+    """The coarse dual graph's weights mirror the forest: vertex weights are
+    leaf counts per tree, edge weights are fine-adjacency counts across
+    tree boundaries — verified against independent brute-force recounts."""
+    expected_v = brute_force_leaf_counts(mesh.forest)
+    if graph.n_vertices != expected_v.shape[0]:
+        _fail(
+            "dual-graph-weights",
+            f"graph has {graph.n_vertices} vertices, forest {expected_v.shape[0]} roots",
+        )
+    got_v = np.asarray(graph.vwts)
+    if not np.allclose(got_v, expected_v):
+        bad = np.nonzero(~np.isclose(got_v, expected_v))[0]
+        _fail(
+            "dual-graph-weights",
+            f"vertex weights differ from leaf counts at roots "
+            f"{bad[:10].tolist()}: {got_v[bad[:10]].tolist()} vs "
+            f"{expected_v[bad[:10]].tolist()}",
+        )
+    expected_e = brute_force_cross_root_edges(mesh)
+    got_e = {}
+    for a in range(graph.n_vertices):
+        lo, hi = graph.xadj[a], graph.xadj[a + 1]
+        for idx in range(lo, hi):
+            b = int(graph.adjncy[idx])
+            if a < b:
+                got_e[(a, b)] = float(graph.ewts[idx])
+    if set(got_e) != set(expected_e):
+        _fail(
+            "dual-graph-weights",
+            f"edge sets differ: graph-only {sorted(set(got_e) - set(expected_e))[:5]}, "
+            f"bruteforce-only {sorted(set(expected_e) - set(got_e))[:5]}",
+        )
+    for key, count in expected_e.items():
+        if not np.isclose(got_e[key], count):
+            _fail(
+                "dual-graph-weights",
+                f"edge {key} weighs {got_e[key]}, brute-force counts {count}",
+            )
+
+
+def check_monotone_refinement(graph, p: int, old, new, alpha: float, beta: float) -> None:
+    """Monotone-or-rollback: a repartitioner that starts from the current
+    assignment may never return something scoring worse than identity under
+    the Equation-1 objective it optimizes."""
+    from repro.core.cost import repartition_cost
+
+    c_new = repartition_cost(graph, old, new, p, alpha, beta).total
+    c_id = repartition_cost(graph, old, old, p, alpha, beta).total
+    if c_new > c_id + 1e-9:
+        _fail(
+            "monotone-refinement",
+            f"repartition scored {c_new:.6g}, identity scores {c_id:.6g} "
+            f"(alpha={alpha}, beta={beta}, p={p})",
+        )
+
+
+def check_replica_agreement(comm, owner, tag: int = 90) -> None:
+    """All ranks hold the same ownership map — the replicated-state
+    invariant the message protocol must maintain.  Collective: every rank
+    of the communicator must call it."""
+    import hashlib
+
+    owner = np.ascontiguousarray(np.asarray(owner, dtype=np.int64))
+    digest = hashlib.sha1(owner.tobytes()).hexdigest()
+    digests = comm.allgather(digest, tag=tag)
+    if len(set(digests)) != 1:
+        _fail(
+            "replica-agreement",
+            f"ownership maps diverged across ranks: digests {digests}",
+        )

@@ -1,0 +1,131 @@
+"""Golden regression tests for the paper-metric pipeline.
+
+The deterministic Figure-4/5 protocol (``experiments.ladder_pairs`` driven
+by PNR) produces the paper's reported metrics — fine cut, shared vertices,
+fraction of elements migrated — as a pure function of the seeds.  The
+expected values are checked in under ``tests/golden/`` so any PR that
+silently shifts partition quality or migration volume fails here instead
+of in a downstream benchmark.
+
+Regenerate after an *intentional* algorithm change with::
+
+    PYTHONPATH=src python tests/test_golden_paper.py --regen
+
+and justify the diff in the PR description.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core.pnr import PNR
+from repro.experiments import ladder_pairs
+from repro.experiments.paper_data import paper_consistency_report
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "paper_metrics.json"
+
+#: relative tolerance on metric values; the run is deterministic, so this
+#: only absorbs float-accumulation differences across numpy versions
+RTOL = 0.05
+
+
+def compute_ladder_metrics() -> list:
+    """One deterministic reduced-scale Figure-4/5 protocol run: partition
+    the initial mesh, then repartition with PNR at every event of the
+    ladder, recording the paper's metrics."""
+    pnr = PNR(seed=0)
+    p = 4
+    current = None
+    events = []
+    for kind, idx, am in ladder_pairs(dim=2, n=8, n_measure=2, growth_rounds=1):
+        if current is None:
+            current = pnr.initial_partition(am, p)
+            new = current
+        else:
+            new = pnr.repartition(am, p, current)
+        rep = pnr.report(am, p, current, new)
+        current = new
+        events.append(
+            {
+                "event": f"{kind}:{idx}",
+                "leaves": int(am.n_leaves),
+                "cut_fine": float(rep["cut_fine"]),
+                "shared_vertices": int(rep["shared_vertices"]),
+                "migrated_elements": float(rep["migrated_elements"]),
+                "pct_migrated": float(rep["migrated_elements"]) / am.n_leaves,
+                "imbalance": float(rep["imbalance"]),
+            }
+        )
+    return events
+
+
+def compute_golden() -> dict:
+    return {
+        "ladder_2d_p4_seed0": compute_ladder_metrics(),
+        "paper_consistency": paper_consistency_report(),
+    }
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN.exists(), (
+        f"{GOLDEN} missing — run `PYTHONPATH=src python {__file__} --regen`"
+    )
+    return json.loads(GOLDEN.read_text())
+
+
+class TestGoldenLadder:
+    def test_event_structure(self, golden):
+        got = compute_ladder_metrics()
+        want = golden["ladder_2d_p4_seed0"]
+        assert [e["event"] for e in got] == [e["event"] for e in want]
+        assert [e["leaves"] for e in got] == [e["leaves"] for e in want]
+
+    def test_metrics_within_tolerance(self, golden):
+        got = compute_ladder_metrics()
+        want = golden["ladder_2d_p4_seed0"]
+        for g, w in zip(got, want):
+            for key in ("cut_fine", "shared_vertices", "migrated_elements"):
+                assert np.isclose(g[key], w[key], rtol=RTOL, atol=2.0), (
+                    f"{g['event']}: {key} drifted {w[key]} -> {g[key]}"
+                )
+
+    def test_migration_stays_small(self, golden):
+        """The paper's headline: PNR migrates a small fraction of the mesh.
+        Locked as an absolute bound so the golden file cannot rot into
+        accepting a regression."""
+        for e in golden["ladder_2d_p4_seed0"]:
+            if e["event"].startswith("before:0"):
+                continue  # initial partition, nothing to migrate from
+            assert e["pct_migrated"] <= 0.35
+
+    def test_imbalance_bounded(self, golden):
+        for e in compute_ladder_metrics():
+            assert e["imbalance"] <= 0.60
+
+
+class TestGoldenPaperData:
+    def test_consistency_report_locked(self, golden):
+        got = paper_consistency_report()
+        want = golden["paper_consistency"]
+        assert set(got) == set(want)
+        for key, val in want.items():
+            if isinstance(val, (list, tuple)):
+                assert np.allclose(got[key], val, rtol=1e-12), key
+            elif isinstance(val, bool):
+                assert got[key] == val, key
+            else:
+                assert np.isclose(got[key], val, rtol=1e-12), key
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(json.dumps(compute_golden(), indent=2) + "\n")
+        print(f"wrote {GOLDEN}")
+    else:
+        print(json.dumps(compute_golden(), indent=2))

@@ -1,0 +1,124 @@
+"""Property-based chaos suite: full PNR repartition cycles under seeded
+fault plans.
+
+The acceptance bar of the harness: for every seeded plan that perturbs the
+wire (reorder, delay + retry, duplication) the PARED loop must complete
+with every :mod:`repro.testing` invariant intact *and* produce exactly the
+history a fault-free run produces (the runtime's delivery guarantee makes
+injected faults application-invisible).  A rank-crash plan must end in a
+clean typed diagnostic, never a hang or silent corruption.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.pnr import PNR
+from repro.mesh.adapt import AdaptiveMesh
+from repro.pared.system import ParedConfig, run_pared
+from repro.runtime import FaultPlan, SimRankCrashed
+
+_P = 3
+_ROUNDS = 2
+
+
+def _marker(amesh, rnd):
+    cents = amesh.leaf_centroids()
+    d = np.linalg.norm(cents - 0.5, axis=1)
+    order = np.argsort(d)[: max(1, amesh.n_leaves // 8)]
+    return amesh.leaf_ids()[order], []
+
+
+def _cfg(faults=None, audit=True):
+    return ParedConfig(
+        p=_P,
+        make_mesh=lambda: AdaptiveMesh.unit_square(4),
+        marker=_marker,
+        rounds=_ROUNDS,
+        pnr=PNR(seed=1),
+        faults=faults,
+        audit=audit,
+    )
+
+
+_baseline_cache = {}
+
+
+def _baseline():
+    """History of the fault-free run (audited), computed once."""
+    if "h" not in _baseline_cache:
+        histories, _ = run_pared(_cfg(None))
+        _baseline_cache["h"] = histories[0]
+    return _baseline_cache["h"]
+
+
+def _assert_transparent(histories):
+    """The audited faulty run reproduced the fault-free history exactly."""
+    for clean, faulty in zip(_baseline(), histories[0]):
+        assert np.array_equal(clean["owner"], faulty["owner"])
+        assert clean["cut"] == faulty["cut"]
+        assert clean["shared_vertices"] == faulty["shared_vertices"]
+        assert clean["elements_moved"] == faulty["elements_moved"]
+
+
+@given(seed=st.integers(0, 1_000))
+@settings(max_examples=4, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_pnr_cycle_under_reorder_plan(seed):
+    plan = FaultPlan(seed=seed, reorder_rate=0.6)
+    histories, stats = run_pared(_cfg(plan))
+    assert stats.fault_log.count("reorder") > 0
+    _assert_transparent(histories)
+
+
+@given(seed=st.integers(0, 1_000))
+@settings(max_examples=3, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_pnr_cycle_under_delay_retry_plan(seed):
+    plan = FaultPlan(
+        seed=seed,
+        delay_rate=0.15,
+        delay=0.3,
+        recv_timeout=0.2,
+        max_retries=6,
+    )
+    histories, stats = run_pared(_cfg(plan))
+    kinds = stats.fault_log.kinds()
+    assert kinds.get("delay", 0) > 0
+    _assert_transparent(histories)
+
+
+@given(seed=st.integers(0, 1_000))
+@settings(max_examples=4, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_pnr_cycle_under_duplicate_plan(seed):
+    plan = FaultPlan(seed=seed, duplicate_rate=0.6)
+    histories, stats = run_pared(_cfg(plan))
+    assert stats.fault_log.count("duplicate") > 0
+    _assert_transparent(histories)
+
+
+@given(seed=st.integers(0, 1_000))
+@settings(max_examples=3, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_pnr_cycle_under_combined_plan(seed):
+    """All wire perturbations at once — the union must still be invisible."""
+    plan = FaultPlan(
+        seed=seed,
+        reorder_rate=0.3,
+        duplicate_rate=0.3,
+        delay_rate=0.1,
+        delay=0.25,
+        recv_timeout=0.2,
+        max_retries=6,
+    )
+    histories, stats = run_pared(_cfg(plan))
+    assert len(stats.fault_log) > 0
+    _assert_transparent(histories)
+
+
+@given(crash_at=st.integers(5, 25))
+@settings(max_examples=4, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_rank_crash_is_clean_diagnostic(crash_at):
+    """A crashed rank must surface as a typed, attributed error — not a
+    hang, not a silently corrupted history."""
+    plan = FaultPlan(crash_rank=1, crash_at_op=crash_at)
+    with pytest.raises(SimRankCrashed, match=r"rank 1 crashed \(injected fault\)"):
+        run_pared(_cfg(plan, audit=False))
