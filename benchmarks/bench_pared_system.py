@@ -106,4 +106,14 @@ def test_pared_system(benchmark, write_result):
     report = stats.phase_report()
     for phase in ("P0", "P2", "P3"):
         assert phase in report and report[phase][0] > 0, f"no traffic in {phase}"
+    # the migration exchange is sparse (only non-empty channels carry a
+    # message): total P3 traffic — setup + per-round owner broadcasts +
+    # payloads — must stay below the dense all-pairs exchange it replaced,
+    # whose payload legs alone cost p*(p-1) messages per round
+    p3_msgs = report["P3"][0]
+    dense_payload_msgs = rounds * p * (p - 1)
+    assert p3_msgs < dense_payload_msgs, (
+        f"P3 sent {p3_msgs} messages; the dense exchange's payload legs "
+        f"alone would send {dense_payload_msgs}"
+    )
     benchmark.extra_info["traffic"] = {k: v for k, v in report.items()}

@@ -21,7 +21,11 @@ All traffic is counted per phase by the runtime's
 """
 
 from repro.pared.distmesh import DistributedMesh
-from repro.pared.migrate import migration_directives, execute_migration
+from repro.pared.migrate import (
+    migration_directives,
+    execute_migration,
+    plan_recovery_assignment,
+)
 from repro.pared.solver import DistributedPoissonSolver
 from repro.pared.system import ParedConfig, run_pared
 from repro.pared.workflow import WorkflowConfig, run_workflow
@@ -30,6 +34,7 @@ __all__ = [
     "DistributedMesh",
     "migration_directives",
     "execute_migration",
+    "plan_recovery_assignment",
     "DistributedPoissonSolver",
     "ParedConfig",
     "run_pared",

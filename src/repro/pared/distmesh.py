@@ -30,7 +30,7 @@ from repro.runtime.faults import recv_with_retry
 class DistributedMesh:
     """A rank's handle on the replicated mesh + ownership map."""
 
-    def __init__(self, comm, amesh: AdaptiveMesh, owner: np.ndarray):
+    def __init__(self, comm, amesh: AdaptiveMesh, owner: np.ndarray, live=None):
         owner = np.asarray(owner, dtype=np.int64)
         if owner.shape[0] != amesh.n_roots:
             raise ValueError("owner must map every coarse root")
@@ -39,6 +39,16 @@ class DistributedMesh:
         self.comm = comm
         self.amesh = amesh
         self.owner = owner.copy()
+        # ranks participating in collectives/exchanges; after a crash the
+        # recovery protocol rebuilds the mesh view over the survivors only
+        self.live = (
+            sorted(int(r) for r in live)
+            if live is not None
+            else list(range(comm.size))
+        )
+        # None while the full communicator is alive, so collectives take
+        # their original (zero-overhead) path; the live list otherwise
+        self.group = self.live if len(self.live) < comm.size else None
 
     # ------------------------------------------------------------------ #
     # ownership queries
@@ -119,16 +129,17 @@ class DistributedMesh:
         comm = self.comm
         marked_owned = [int(e) for e in marked_owned]
         requests = self._lepp_remote_targets(marked_owned)
-        # deterministic request exchange: every rank sends to every other
-        for dst in range(comm.size):
+        # deterministic request exchange: every live rank sends to every
+        # other live rank
+        for dst in self.live:
             if dst != comm.rank:
                 comm.send(requests.get(dst, []), dst, tag=10)
         received: list = []
-        for src in range(comm.size):
+        for src in self.live:
             if src != comm.rank:
                 received.extend(comm.recv(src, tag=10))
         local_targets = sorted(set(marked_owned) | set(received))
-        all_targets = comm.allgather(local_targets, tag=11)
+        all_targets = comm.allgather(local_targets, tag=11, ranks=self.group)
         union = sorted(set().union(*all_targets)) if all_targets else []
         return self.amesh.refine(union)
 
@@ -138,7 +149,7 @@ class DistributedMesh:
         have marked their children, exactly as in the serial rule)."""
         comm = self.comm
         local = sorted(int(e) for e in marked_owned)
-        all_marked = comm.allgather(local, tag=12)
+        all_marked = comm.allgather(local, tag=12, ranks=self.group)
         union = sorted(set().union(*all_marked)) if all_marked else []
         merged = serial_coarsen(self.amesh.mesh, union)
         self.amesh.time_step += 1
@@ -184,7 +195,7 @@ class DistributedMesh:
         """
         if self.rank == coordinator:
             msgs = [update]
-            for src in range(self.comm.size):
+            for src in self.live:
                 if src != coordinator:
                     msgs.append(recv_with_retry(self.comm, src, tag=20))
             return msgs

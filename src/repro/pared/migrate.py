@@ -46,45 +46,69 @@ def _tree_payload(mesh, root: int) -> dict:
     }
 
 
-def execute_migration(comm, dmesh, new_owner: np.ndarray, coordinator: int = 0) -> dict:
+def execute_migration(
+    comm, dmesh, new_owner: np.ndarray, coordinator: int = 0, extra=None
+) -> dict:
     """Carry out phase P3's moves on every rank.
 
-    The coordinator broadcasts the new ownership; each source rank sends the
-    tree payloads it owes, aggregated per destination; each destination
-    receives them.  Every rank then installs the new ownership map.
+    The coordinator broadcasts the new ownership (plus ``extra``, a small
+    replica-identical payload such as the measured imbalance, which rides
+    the same message); each source rank sends the tree payloads it owes,
+    aggregated per destination; each destination receives them.  Every rank
+    then installs the new ownership map.
 
-    Returns accounting: trees moved, leaf elements moved, and (on this
-    rank) how many trees were sent/received.
+    The exchange is *sparse*: every rank holds both the old and the new
+    owner map, so the exact send/recv sets follow from the directives and
+    empty channels cost nothing — O(moves) messages instead of O(p²).
+
+    During crash recovery a directive's source may be a dead rank; the
+    destination then reconstructs the tree payload from its own mesh
+    replica instead of receiving it (the replicated structure *is* the
+    checkpoint of the mesh data).
+
+    Returns accounting: trees moved, leaf elements moved, how many trees
+    this rank sent/received/reconstructed, and the broadcast ``extra``.
     """
-    new_owner = comm.bcast(
-        np.asarray(new_owner, dtype=np.int64) if comm.rank == coordinator else None,
-        root=coordinator,
-        tag=30,
+    live = getattr(dmesh, "live", None)
+    if live is None:
+        live = list(range(comm.size))
+    group = live if len(live) < comm.size else None
+    payload0 = (
+        (np.asarray(new_owner, dtype=np.int64), extra)
+        if comm.rank == coordinator
+        else None
     )
+    new_owner, extra = comm.bcast(payload0, root=coordinator, tag=30, ranks=group)
     directives = migration_directives(dmesh.owner, new_owner)
     mesh = dmesh.amesh.mesh
+    live_set = set(live)
 
     by_src_dst = defaultdict(list)
     for root, src, dst in directives:
         by_src_dst[(src, dst)].append(root)
 
-    sent = received = 0
-    # Deterministic exchange: every ordered pair communicates (possibly an
-    # empty list), so no rank blocks on a message that never comes.
-    for dst in range(comm.size):
-        if dst == comm.rank:
-            continue
-        roots = by_src_dst.get((comm.rank, dst), [])
-        payload = [_tree_payload(mesh, r) for r in roots]
+    send_dsts = sorted(
+        d for (s, d) in by_src_dst if s == comm.rank and d in live_set
+    )
+    recv_srcs = sorted(
+        s for (s, d) in by_src_dst if d == comm.rank and s in live_set
+    )
+
+    sent = received = reconstructed = 0
+    for dst in send_dsts:
+        payload = [_tree_payload(mesh, r) for r in by_src_dst[(comm.rank, dst)]]
         comm.send(payload, dst, tag=31)
         sent += len(payload)
-    for src in range(comm.size):
-        if src == comm.rank:
-            continue
+    for src in recv_srcs:
         # tree payloads ride the retry/backoff discipline: a delayed
         # delivery under fault injection is retried, not fatal
         payload = recv_with_retry(comm, src, tag=31)
         received += len(payload)
+    for root, src, dst in directives:
+        if src not in live_set and dst == comm.rank:
+            # the owner died with the trees it owed; the replica stands in
+            _tree_payload(mesh, root)
+            reconstructed += 1
 
     dmesh.owner = new_owner.copy()
 
@@ -95,4 +119,66 @@ def execute_migration(comm, dmesh, new_owner: np.ndarray, coordinator: int = 0) 
         "elements_moved": moved_elements,
         "sent_here": sent,
         "received_here": received,
+        "reconstructed_here": reconstructed,
+        "extra": extra,
     }
+
+
+def plan_recovery_assignment(
+    graph,
+    owner: np.ndarray,
+    live,
+    alpha: float,
+    beta: float,
+    seed: int = 0,
+    balance_tol: float = 0.05,
+) -> np.ndarray:
+    """Re-assign the coarse roots of dead ranks to survivors.
+
+    Orphaned roots are first adopted greedily — each goes to the live rank
+    with the strongest edge affinity (fine-adjacency weight to roots that
+    rank already holds), ties broken toward the lighter rank, then the
+    lower one, so the result is deterministic.  The provisional map is then
+    handed to ``multilevel_repartition`` in the compacted live-rank space
+    (partition labels must be dense), which rebalances under the Equation-1
+    objective; its monotone-or-rollback guarantee means the final map is
+    never worse than the greedy adoption.
+
+    Returns a full owner map whose values are all live ranks.
+    """
+    from repro.core.repartition_kl import multilevel_repartition
+    from repro.runtime.recovery import compact_owner, expand_owner
+
+    live = sorted(int(r) for r in live)
+    lookup = {r: i for i, r in enumerate(live)}
+    owner = np.asarray(owner, dtype=np.int64)
+    n = owner.shape[0]
+    adopted = owner.copy()
+    orphans = [a for a in range(n) if int(owner[a]) not in lookup]
+    loads = np.zeros(len(live))
+    for a in range(n):
+        if int(adopted[a]) in lookup:
+            loads[lookup[int(adopted[a])]] += graph.vwts[a]
+    for a in orphans:
+        affinity = np.zeros(len(live))
+        for idx in range(graph.xadj[a], graph.xadj[a + 1]):
+            b = int(graph.adjncy[idx])
+            o = int(adopted[b])
+            if o in lookup:
+                affinity[lookup[o]] += graph.ewts[idx]
+        best = min(
+            range(len(live)),
+            key=lambda i: (-affinity[i], loads[i], live[i]),
+        )
+        adopted[a] = live[best]
+        loads[best] += graph.vwts[a]
+    compact = multilevel_repartition(
+        graph,
+        len(live),
+        compact_owner(adopted, live),
+        alpha=alpha,
+        beta=beta,
+        seed=seed,
+        balance_tol=balance_tol,
+    )
+    return expand_owner(compact, live)

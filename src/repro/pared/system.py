@@ -9,7 +9,22 @@ phases run symmetrically on every rank.
 
 The coordinator's copy of ``G`` is assembled *only* from P2 messages — it
 never peeks at the replica — so the test-suite can verify the distributed
-weight protocol against the directly computed dual graph.
+weight protocol against the directly computed dual graph.  (The single
+exception is coordinator *failover*: a freshly promoted ``P_C`` bootstraps
+the recovery re-assignment from its replica, then rebuilds ``G`` from full
+P2 reports on the next round.)
+
+Crash survival (``ParedConfig(recover=True)``): every rank checkpoints its
+protocol state at each round barrier (:class:`~repro.runtime.recovery.
+CheckpointStore`).  When a peer dies, the runtime raises
+:class:`~repro.runtime.recovery.PeerCrashed` from the survivors' blocked
+receives; they then flush their channels, agree on the newest checkpoint
+every survivor holds, re-assign the dead rank's coarse roots via the
+ordinary repartition/migration machinery (tree payloads owed by the dead
+rank are reconstructed from the replicated mesh), and replay the
+interrupted round with ``p-1`` ranks.  All of it is deterministic given the
+fault plan's seed, so two runs of the same configuration produce identical
+recovered histories.
 """
 
 from __future__ import annotations
@@ -26,17 +41,32 @@ from repro.mesh.adapt import AdaptiveMesh
 from repro.mesh.dualgraph import coarse_dual_graph, leaf_assignment_from_roots
 from repro.mesh.metrics import cut_size, shared_vertex_count
 from repro.pared.distmesh import DistributedMesh
-from repro.pared.migrate import execute_migration
+from repro.pared.migrate import execute_migration, plan_recovery_assignment
 from repro.partition.multilevel import multilevel_partition
 from repro.runtime.faults import FaultPlan
+from repro.runtime.recovery import (
+    NO_CHECKPOINT,
+    CheckpointStore,
+    PeerCrashed,
+    RoundCheckpoint,
+    agree_replay_round,
+    compact_owner,
+    expand_owner,
+    flush_channels,
+)
 from repro.runtime.simmpi import spmd_run
 from repro.testing import (
     check_dual_graph_weights,
+    check_history_agreement,
     check_migration_conservation,
     check_monotone_refinement,
     check_partition_validity,
+    check_recovery_partition,
     check_replica_agreement,
 )
+
+#: collective-commit tag: no rank returns before every live rank finished
+COMMIT_TAG = 73
 
 
 @dataclass
@@ -62,7 +92,8 @@ class ParedConfig:
         Repartition only when the coordinator's measured imbalance exceeds
         this (the paper's "user-supplied workload imbalance").
     coordinator:
-        Rank playing ``P_C``.
+        Rank playing ``P_C``.  If it dies (with ``recover=True``) the
+        lowest surviving rank is promoted.
     faults:
         Optional :class:`~repro.runtime.faults.FaultPlan` perturbing the
         simulated wire (``None`` — the default — keeps the runtime on its
@@ -74,6 +105,12 @@ class ParedConfig:
         refinement); violations raise
         :class:`~repro.testing.InvariantViolation`.  Audit traffic is
         labelled phase ``audit`` so P0–P3 accounting stays clean.
+    recover:
+        When True, a rank dying of an injected crash or retry exhaustion is
+        survived: the remaining ranks checkpoint/replay the round and adopt
+        the dead rank's trees (see the module docstring).  When False (the
+        default) a crash surfaces as a clean
+        :class:`~repro.runtime.faults.SimRankCrashed`, exactly as before.
     """
 
     p: int
@@ -85,6 +122,7 @@ class ParedConfig:
     coordinator: int = 0
     faults: Optional[FaultPlan] = None
     audit: bool = False
+    recover: bool = False
 
 
 class _CoordinatorGraph:
@@ -96,11 +134,46 @@ class _CoordinatorGraph:
         self.edges = {}
 
     def merge(self, messages) -> None:
+        """Apply one round's deltas.  A ``None`` weight is a *tombstone*:
+        the reporter's owned set no longer contains that key (the root was
+        handed to another rank, or coarsening collapsed it away).  Values
+        are applied first and a tombstone only wins when no message of the
+        same batch re-reported the key, so an ownership handoff — old owner
+        sending the tombstone, new owner the fresh value — merges to the
+        same state in any arrival order.
+        """
+        fresh_v: set = set()
+        fresh_e: set = set()
+        dead_v: set = set()
+        dead_e: set = set()
         for msg in messages:
             for a, w in msg["v"].items():
-                self.vwts[a] = w
+                if w is None:
+                    dead_v.add(a)
+                else:
+                    self.vwts[a] = w
+                    fresh_v.add(a)
             for e, w in msg["e"].items():
-                self.edges[e] = w
+                if w is None:
+                    dead_e.add(e)
+                else:
+                    self.edges[e] = w
+                    fresh_e.add(e)
+        for a in dead_v - fresh_v:
+            self.vwts[a] = 0.0
+        for e in dead_e - fresh_e:
+            self.edges.pop(e, None)
+
+    def snapshot(self):
+        """Checkpointable copy of the graph state."""
+        return self.vwts.copy(), dict(self.edges)
+
+    @classmethod
+    def from_snapshot(cls, n_roots: int, vwts, edges) -> "_CoordinatorGraph":
+        g = cls(n_roots)
+        g.vwts = np.asarray(vwts, dtype=float).copy()
+        g.edges = dict(edges)
+        return g
 
     def graph(self) -> WeightedGraph:
         if self.edges:
@@ -113,64 +186,107 @@ class _CoordinatorGraph:
 
 
 def _diff_update(full: dict, prev: Optional[dict]) -> dict:
+    """Delta of this round's weight report against the previous baseline.
+
+    Changed entries carry their new weight; entries present in ``prev`` but
+    gone from ``full`` (the rank stopped owning the root, or the key left
+    the graph) are *tombstoned* with ``None`` so the coordinator deletes
+    its stale copy instead of keeping it forever.
+    """
     if prev is None:
         return full
-    return {
-        "v": {a: w for a, w in full["v"].items() if prev["v"].get(a) != w},
-        "e": {e: w for e, w in full["e"].items() if prev["e"].get(e) != w},
-    }
+    v = {a: w for a, w in full["v"].items() if prev["v"].get(a) != w}
+    e = {k: w for k, w in full["e"].items() if prev["e"].get(k) != w}
+    for a in prev["v"]:
+        if a not in full["v"]:
+            v[a] = None
+    for k in prev["e"]:
+        if k not in full["e"]:
+            e[k] = None
+    return {"v": v, "e": e}
 
 
-def _pared_rank(comm, cfg: ParedConfig):
-    C = cfg.coordinator
+@dataclass
+class _RankState:
+    """Everything a rank mutates across rounds (checkpointed wholesale)."""
+
+    amesh: AdaptiveMesh
+    dmesh: DistributedMesh
+    coord_graph: Optional[_CoordinatorGraph]
+    prev_full: Optional[dict]
+    history: list
+    coordinator: int
+
+
+def _pared_setup(comm, cfg: ParedConfig, live) -> _RankState:
+    """Initial (or post-wipeout re-initial) partition and distribution."""
+    live = sorted(live)
+    C = cfg.coordinator if cfg.coordinator in live else live[0]
     amesh = cfg.make_mesh()
 
     # initial partition at the coordinator (the mesh "is loaded into P_C")
     comm.set_phase("P3")
+    group = live if len(live) < comm.size else None
     if comm.rank == C:
         graph0 = coarse_dual_graph(amesh.mesh)
-        owner0 = multilevel_partition(graph0, comm.size, seed=cfg.pnr.seed)
+        if group is None:
+            owner0 = multilevel_partition(graph0, comm.size, seed=cfg.pnr.seed)
+        else:
+            owner0 = expand_owner(
+                multilevel_partition(graph0, len(live), seed=cfg.pnr.seed), live
+            )
     else:
         owner0 = None
-    owner = comm.bcast(owner0, root=C, tag=40)
-    dmesh = DistributedMesh(comm, amesh, owner)
-
+    owner = comm.bcast(owner0, root=C, tag=40, ranks=group)
+    dmesh = DistributedMesh(comm, amesh, owner, live=live)
     coord_graph = _CoordinatorGraph(amesh.n_roots) if comm.rank == C else None
-    prev_full: Optional[dict] = None
-    history = []
+    return _RankState(
+        amesh=amesh,
+        dmesh=dmesh,
+        coord_graph=coord_graph,
+        prev_full=None,
+        history=[],
+        coordinator=C,
+    )
 
-    for rnd in range(cfg.rounds):
-        # ---- P0: adapt ------------------------------------------------ #
-        comm.set_phase("P0")
-        refine_ids, coarsen_ids = cfg.marker(amesh, rnd)
-        owned = set(int(e) for e in dmesh.owned_leaf_ids())
-        my_refine = [e for e in refine_ids if int(e) in owned]
-        dmesh.parallel_refine(my_refine)
-        owned = set(int(e) for e in dmesh.owned_leaf_ids())
-        my_coarsen = [e for e in coarsen_ids if int(e) in owned]
-        dmesh.parallel_coarsen(my_coarsen)
 
-        leaves_before = amesh.leaf_ids().copy()
+def _pared_round(comm, cfg: ParedConfig, st: _RankState, rnd: int) -> None:
+    amesh, dmesh, C = st.amesh, st.dmesh, st.coordinator
+    live = dmesh.live
 
-        # ---- P1: local weights ---------------------------------------- #
-        comm.set_phase("P1")
-        full = dmesh.local_weight_update(None)
-        delta = _diff_update(full, prev_full)
-        prev_full = full
+    # ---- P0: adapt ------------------------------------------------ #
+    comm.set_phase("P0")
+    refine_ids, coarsen_ids = cfg.marker(amesh, rnd)
+    owned = set(int(e) for e in dmesh.owned_leaf_ids())
+    my_refine = [e for e in refine_ids if int(e) in owned]
+    dmesh.parallel_refine(my_refine)
+    owned = set(int(e) for e in dmesh.owned_leaf_ids())
+    my_coarsen = [e for e in coarsen_ids if int(e) in owned]
+    dmesh.parallel_coarsen(my_coarsen)
 
-        # ---- P2: ship to coordinator ---------------------------------- #
-        comm.set_phase("P2")
-        msgs = dmesh.send_weights_to_coordinator(delta, C)
+    leaves_before = amesh.leaf_ids().copy()
 
-        # ---- P3: repartition & migrate -------------------------------- #
-        comm.set_phase("P3")
-        if comm.rank == C:
-            coord_graph.merge(msgs)
-            graph = coord_graph.graph()
-            loads = np.bincount(dmesh.owner, weights=graph.vwts, minlength=comm.size)
-            mean = loads.sum() / comm.size
-            imb = float(loads.max() / mean - 1.0) if mean else 0.0
-            if imb > cfg.imbalance_trigger:
+    # ---- P1: local weights ---------------------------------------- #
+    comm.set_phase("P1")
+    full = dmesh.local_weight_update(None)
+    delta = _diff_update(full, st.prev_full)
+    st.prev_full = full
+
+    # ---- P2: ship to coordinator ---------------------------------- #
+    comm.set_phase("P2")
+    msgs = dmesh.send_weights_to_coordinator(delta, C)
+
+    # ---- P3: repartition & migrate -------------------------------- #
+    comm.set_phase("P3")
+    if comm.rank == C:
+        st.coord_graph.merge(msgs)
+        graph = st.coord_graph.graph()
+        loads = np.bincount(dmesh.owner, weights=graph.vwts, minlength=comm.size)
+        live_loads = loads[live]
+        mean = live_loads.sum() / len(live)
+        imb = float(live_loads.max() / mean - 1.0) if mean else 0.0
+        if imb > cfg.imbalance_trigger:
+            if len(live) == comm.size:
                 new_owner = multilevel_repartition(
                     graph,
                     comm.size,
@@ -181,54 +297,241 @@ def _pared_rank(comm, cfg: ParedConfig):
                     balance_tol=cfg.pnr.balance_tol,
                 )
             else:
-                new_owner = dmesh.owner.copy()
+                new_owner = expand_owner(
+                    multilevel_repartition(
+                        graph,
+                        len(live),
+                        compact_owner(dmesh.owner, live),
+                        alpha=cfg.pnr.alpha,
+                        beta=cfg.pnr.beta,
+                        seed=cfg.pnr.seed,
+                        balance_tol=cfg.pnr.balance_tol,
+                    ),
+                    live,
+                )
         else:
-            new_owner = None
-            imb = None
-        old_owner = dmesh.owner.copy()
-        mig = execute_migration(comm, dmesh, new_owner, coordinator=C)
+            new_owner = dmesh.owner.copy()
+    else:
+        new_owner = None
+        imb = None
+    old_owner = dmesh.owner.copy()
+    mig = execute_migration(comm, dmesh, new_owner, coordinator=C, extra=imb)
+    # the measured imbalance rides the owner broadcast, so the per-round
+    # record is replica-identical on every rank (not just P_C)
+    imb = mig["extra"]
 
-        # ---- audit: executable invariants of the round ----------------- #
-        if cfg.audit:
-            comm.set_phase("audit")
-            check_partition_validity(dmesh.owner, comm.size, amesh.n_roots)
-            check_replica_agreement(comm, dmesh.owner)
-            owned_all = comm.allgather(dmesh.owned_leaf_ids().tolist(), tag=91)
-            check_migration_conservation(
-                leaves_before, amesh.leaf_ids(), owned_all
-            )
-            if comm.rank == C:
-                # the coordinator's G was assembled purely from P2
-                # messages — auditing it against a brute-force recount
-                # verifies the distributed weight protocol end to end
-                check_dual_graph_weights(amesh.mesh, graph)
-                if imb is not None and imb > cfg.imbalance_trigger:
+    # ---- audit: executable invariants of the round ----------------- #
+    if cfg.audit:
+        comm.set_phase("audit")
+        check_partition_validity(dmesh.owner, comm.size, amesh.n_roots)
+        if len(live) < comm.size:
+            check_recovery_partition(dmesh.owner, live, amesh.n_roots)
+        check_replica_agreement(comm, dmesh.owner, ranks=dmesh.group)
+        owned_all = comm.allgather(
+            dmesh.owned_leaf_ids().tolist(), tag=91, ranks=dmesh.group
+        )
+        check_migration_conservation(leaves_before, amesh.leaf_ids(), owned_all)
+        if comm.rank == C:
+            # the coordinator's G was assembled purely from P2
+            # messages — auditing it against a brute-force recount
+            # verifies the distributed weight protocol end to end
+            check_dual_graph_weights(amesh.mesh, graph)
+            if imb > cfg.imbalance_trigger:
+                if len(live) == comm.size:
                     check_monotone_refinement(
                         graph, comm.size, old_owner, dmesh.owner,
                         cfg.pnr.alpha, cfg.pnr.beta,
                     )
+                else:
+                    check_monotone_refinement(
+                        graph,
+                        len(live),
+                        compact_owner(old_owner, live),
+                        compact_owner(dmesh.owner, live),
+                        cfg.pnr.alpha,
+                        cfg.pnr.beta,
+                    )
 
-        # ---- metrics (identical on every replica) ---------------------- #
-        fine = leaf_assignment_from_roots(amesh.mesh, dmesh.owner)
-        history.append(
-            {
-                "round": rnd,
-                "leaves": amesh.n_leaves,
-                "cut": cut_size(amesh.mesh, fine),
-                "shared_vertices": shared_vertex_count(amesh.mesh, fine),
-                "elements_moved": mig["elements_moved"],
-                "trees_moved": mig["trees_moved"],
-                "imbalance_before": imb,
-                "local_load": dmesh.local_load(),
-                "owner": dmesh.owner.copy(),
-                "old_owner": old_owner,
-            }
+    # ---- metrics (identical on every replica) ---------------------- #
+    fine = leaf_assignment_from_roots(amesh.mesh, dmesh.owner)
+    st.history.append(
+        {
+            "round": rnd,
+            "leaves": amesh.n_leaves,
+            "cut": cut_size(amesh.mesh, fine),
+            "shared_vertices": shared_vertex_count(amesh.mesh, fine),
+            "elements_moved": mig["elements_moved"],
+            "trees_moved": mig["trees_moved"],
+            "imbalance_before": imb,
+            "local_load": dmesh.local_load(),
+            "owner": dmesh.owner.copy(),
+            "old_owner": old_owner,
+            "p_live": len(live),
+        }
+    )
+
+
+def _save_checkpoint(store: CheckpointStore, rnd: int, st: _RankState) -> None:
+    vwts = edges = None
+    if st.coord_graph is not None:
+        vwts, edges = st.coord_graph.snapshot()
+    store.save(
+        RoundCheckpoint(
+            round=rnd,
+            amesh=st.amesh,
+            owner=st.dmesh.owner,
+            prev_full=st.prev_full,
+            history=st.history,
+            coordinator=st.coordinator,
+            coord_vwts=vwts,
+            coord_edges=edges,
         )
-    return history
+    )
+
+
+def _recover(comm, cfg: ParedConfig, store: CheckpointStore, flush_seen: dict):
+    """Survivor-side recovery: flush, agree, restore, re-assign, replay.
+
+    Returns ``(next_round, state_or_None, live)``; a ``None`` state means
+    some survivor had no checkpoint, so setup must be redone from scratch.
+    """
+    comm.set_phase("recovery")
+    comm.acknowledge_membership()
+    live = comm.live_ranks()
+    flush_channels(comm, live, comm.ack_epoch, flush_seen)
+    decision = agree_replay_round(comm, live, store.latest_round())
+    if decision == NO_CHECKPOINT:
+        store.clear()
+        return 0, None, live
+
+    ckpt = store.restore(decision)
+    store.discard_after(decision)
+    C = cfg.coordinator if cfg.coordinator in live else live[0]
+    coordinator_changed = C != ckpt.coordinator
+    if coordinator_changed:
+        # a freshly promoted P_C starts with an empty G; every survivor
+        # resets its delta baseline so the next round's P2 carries full
+        # reports and G is rebuilt from messages alone
+        prev_full = None
+        coord_graph = (
+            _CoordinatorGraph(ckpt.amesh.n_roots) if comm.rank == C else None
+        )
+    else:
+        prev_full = ckpt.prev_full
+        coord_graph = (
+            _CoordinatorGraph.from_snapshot(
+                ckpt.amesh.n_roots, ckpt.coord_vwts, ckpt.coord_edges
+            )
+            if comm.rank == C
+            else None
+        )
+    dmesh = DistributedMesh(comm, ckpt.amesh, ckpt.owner, live=live)
+
+    # coordinator-led re-assignment of the dead rank's roots, executed by
+    # the ordinary migration machinery; payloads owed by the dead rank are
+    # reconstructed from the replica inside execute_migration
+    leaves_before = ckpt.amesh.leaf_ids().copy()
+    if comm.rank == C:
+        graph = (
+            coarse_dual_graph(ckpt.amesh.mesh)  # failover bootstrap
+            if coordinator_changed
+            else coord_graph.graph()
+        )
+        new_owner = plan_recovery_assignment(
+            graph,
+            ckpt.owner,
+            live,
+            alpha=cfg.pnr.alpha,
+            beta=cfg.pnr.beta,
+            seed=cfg.pnr.seed,
+            balance_tol=cfg.pnr.balance_tol,
+        )
+    else:
+        new_owner = None
+    mig = execute_migration(comm, dmesh, new_owner, coordinator=C)
+
+    # recovery invariants: the survivors hold a valid p-1 partition and the
+    # leaf multiset is untouched
+    check_recovery_partition(dmesh.owner, live, ckpt.amesh.n_roots)
+    check_migration_conservation(leaves_before, ckpt.amesh.leaf_ids())
+    if cfg.audit:
+        check_replica_agreement(comm, dmesh.owner, ranks=live)
+
+    st = _RankState(
+        amesh=ckpt.amesh,
+        dmesh=dmesh,
+        coord_graph=coord_graph,
+        prev_full=prev_full,
+        history=ckpt.history,
+        coordinator=C,
+    )
+    st.history.append(
+        {
+            "round": ckpt.round,
+            "recovery": True,
+            "leaves": st.amesh.n_leaves,
+            "elements_moved": mig["elements_moved"],
+            "trees_moved": mig["trees_moved"],
+            "owner": dmesh.owner.copy(),
+            "old_owner": ckpt.owner.copy(),
+            "p_live": len(live),
+            "dead": comm.dead_ranks(),
+        }
+    )
+    return ckpt.round + 1, st, live
+
+
+def _pared_rank(comm, cfg: ParedConfig):
+    recover = cfg.recover and getattr(comm, "recovery_enabled", False)
+    store = CheckpointStore(keep=2) if recover else None
+    flush_seen: dict = {}
+    live = list(range(comm.size))
+    st: Optional[_RankState] = None
+    rnd = 0
+    while True:
+        try:
+            if st is None:
+                st = _pared_setup(comm, cfg, live)
+                if recover:
+                    _save_checkpoint(store, -1, st)
+                rnd = 0
+            while rnd < cfg.rounds:
+                _pared_round(comm, cfg, st, rnd)
+                if recover:
+                    _save_checkpoint(store, rnd, st)
+                rnd += 1
+            if recover:
+                # collective commit: a rank may only return once every live
+                # rank got through all rounds, so a crash in the final
+                # round still finds every survivor reachable for recovery
+                comm.set_phase("commit")
+                comm.allgather(("commit", rnd), tag=COMMIT_TAG, ranks=st.dmesh.group)
+            return st.history
+        except PeerCrashed:
+            if not recover:
+                raise
+            while True:
+                try:
+                    rnd, st, live = _recover(comm, cfg, store, flush_seen)
+                    break
+                except PeerCrashed:
+                    continue  # another death mid-recovery: restart it
 
 
 def run_pared(cfg: ParedConfig):
     """Run the PARED loop; returns ``(histories, traffic_stats)`` where
     ``histories[r]`` is rank ``r``'s per-round record list (replica metrics
-    agree across ranks; ``local_load`` differs)."""
-    return spmd_run(cfg.p, _pared_rank, cfg, return_stats=True, faults=cfg.faults)
+    agree across ranks — enforced by
+    :func:`~repro.testing.check_history_agreement`; ``local_load`` differs
+    by design).  With ``cfg.recover=True`` a crashed rank's slot is ``None``
+    and ``traffic_stats.membership_events`` records the deaths."""
+    histories, stats = spmd_run(
+        cfg.p,
+        _pared_rank,
+        cfg,
+        return_stats=True,
+        faults=cfg.faults,
+        recover=cfg.recover,
+    )
+    check_history_agreement(histories)
+    return histories, stats

@@ -137,7 +137,10 @@ def _workflow_rank(comm, cfg: WorkflowConfig):
             new_owner = None
             imb = None
         leaves_before = amesh.leaf_ids().copy()
-        mig = execute_migration(comm, dmesh, new_owner, coordinator=C)
+        mig = execute_migration(comm, dmesh, new_owner, coordinator=C, extra=imb)
+        # the measured imbalance rides the owner broadcast, so every rank's
+        # record carries it (not just the coordinator's)
+        imb = mig["extra"]
 
         if cfg.audit:
             comm.set_phase("audit")

@@ -16,7 +16,16 @@ from repro.runtime.faults import (
     FaultPlan,
     FaultToleranceExhausted,
     SimRankCrashed,
+    attempt_schedule,
     recv_with_retry,
+)
+from repro.runtime.recovery import (
+    CheckpointStore,
+    MembershipChange,
+    PeerCrashed,
+    RoundCheckpoint,
+    compact_owner,
+    expand_owner,
 )
 from repro.runtime.simmpi import Request, SimComm, spmd_run
 from repro.runtime.stats import TrafficStats, PhaseTimer
@@ -38,7 +47,14 @@ __all__ = [
     "FaultLog",
     "FaultToleranceExhausted",
     "SimRankCrashed",
+    "attempt_schedule",
     "recv_with_retry",
+    "PeerCrashed",
+    "MembershipChange",
+    "RoundCheckpoint",
+    "CheckpointStore",
+    "compact_owner",
+    "expand_owner",
     "TrafficStats",
     "PhaseTimer",
     "NetworkProfile",

@@ -122,19 +122,24 @@ class FaultPlan:
 class FaultLog:
     """Thread-safe record of every injected fault event.
 
-    Entries are ``(kind, src, dst, seq)`` with ``kind`` one of ``reorder``,
-    ``duplicate``, ``delay``, ``retry``, ``crash`` (``dst``/``seq`` are -1
-    where they do not apply).  Tests assert on :meth:`count` to prove a
-    plan actually exercised the wire.
+    Entries are ``(kind, src, dst, seq, attempt)`` with ``kind`` one of
+    ``reorder``, ``duplicate``, ``delay``, ``retry``, ``crash``, ``dead``
+    (fields are -1 where they do not apply).  ``seq`` is always a wire
+    sequence number (or the op counter for ``crash``/``dead``); a retry's
+    attempt index is recorded under its own ``attempt`` field rather than
+    overloading ``seq``.  Tests assert on :meth:`count` to prove a plan
+    actually exercised the wire.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.events: list = []
 
-    def record(self, kind: str, src: int, dst: int = -1, seq: int = -1) -> None:
+    def record(
+        self, kind: str, src: int, dst: int = -1, seq: int = -1, attempt: int = -1
+    ) -> None:
         with self._lock:
-            self.events.append((kind, src, dst, seq))
+            self.events.append((kind, src, dst, seq, attempt))
 
     def count(self, kind: str) -> int:
         with self._lock:
@@ -192,11 +197,20 @@ def recv_with_retry(
                 raise FaultToleranceExhausted(
                     f"rank {comm.rank} gave up receiving from rank {source} "
                     f"tag {tag} after {retries + 1} attempts "
-                    f"(per-attempt timeout {attempt_timeout}, backoff {backoff})"
+                    f"(attempt timeouts: {attempt_schedule(timeout, retries, backoff)})"
                 )
             if log is not None:
-                log.record("retry", comm.rank, source, attempt)
+                log.record("retry", comm.rank, source, attempt=attempt)
             if attempt_timeout is not None:
                 attempt_timeout *= backoff
                 kwargs = {"timeout": attempt_timeout}
     raise AssertionError("unreachable")
+
+
+def attempt_schedule(timeout, retries: int, backoff: float) -> str:
+    """Human-readable full schedule of per-attempt timeouts, first to last
+    — what an exhausted receive actually waited, not just the final
+    backed-off value."""
+    if timeout is None:
+        return f"{retries + 1} x default patience"
+    return ", ".join(f"{timeout * backoff ** i:g}s" for i in range(retries + 1))

@@ -18,6 +18,17 @@ Fault injection: ``spmd_run(..., faults=FaultPlan(...))`` perturbs the wire
 exactly-once in-order delivery guarantee — see :mod:`repro.runtime.faults`.
 With ``faults=None`` (the default) every code path below is byte-for-byte
 the original: fault support costs nothing when disabled.
+
+Crash survival: ``spmd_run(..., recover=True)`` converts a rank dying of
+:class:`SimRankCrashed` or :class:`FaultToleranceExhausted` into a
+:class:`~repro.runtime.recovery.MembershipChange` on a shared ledger
+instead of aborting the run.  Surviving ranks observe the change as a
+:class:`~repro.runtime.recovery.PeerCrashed` raised from their next
+blocked receive, sends to dead ranks are silently dropped, and the group
+barrier releases on the live count.  The application decides what recovery
+means (see :mod:`repro.pared.system`); the runtime only guarantees clean,
+typed detection.  With ``recover=False`` (the default) behaviour is
+exactly the original fail-stop semantics.
 """
 
 from __future__ import annotations
@@ -33,7 +44,9 @@ from repro.runtime.faults import (
     FaultToleranceExhausted,
     SimRankCrashed,
     _REORDER_HOLD,
+    attempt_schedule,
 )
+from repro.runtime.recovery import MembershipChange, PeerCrashed
 from repro.runtime.stats import TrafficStats
 
 _DEFAULT_TIMEOUT = 120.0
@@ -43,10 +56,61 @@ class SimMPIAborted(RuntimeError):
     """Another rank failed; this rank's pending communication is void."""
 
 
+class _LiveBarrier:
+    """Membership-aware rendezvous used when ``recover=True``.
+
+    Releases once every *live* rank is waiting; a death while ranks wait
+    wakes the waiters (via :meth:`wake` from ``mark_dead``) so the lowered
+    live count is re-evaluated instead of deadlocking on a rank that will
+    never arrive.  API-compatible with :class:`threading.Barrier` for the
+    two methods the runtime uses (``wait``/``abort``).
+    """
+
+    def __init__(self, shared: "_Shared"):
+        self._shared = shared
+        self._cond = threading.Condition()
+        self._waiting = 0
+        self._generation = 0
+        self._aborted = False
+
+    def wait(self, timeout: float = None) -> None:
+        deadline = time.monotonic() + (
+            timeout if timeout is not None else _DEFAULT_TIMEOUT
+        )
+        with self._cond:
+            if self._aborted:
+                raise threading.BrokenBarrierError
+            gen = self._generation
+            self._waiting += 1
+            while self._generation == gen:
+                if self._aborted:
+                    raise threading.BrokenBarrierError
+                live = self._shared.size - len(self._shared.dead)
+                if self._waiting >= live:
+                    self._waiting = 0
+                    self._generation += 1
+                    self._cond.notify_all()
+                    return
+                if time.monotonic() >= deadline:
+                    self._waiting -= 1
+                    raise threading.BrokenBarrierError
+                # short tick: re-check the live count even without a wake
+                self._cond.wait(timeout=0.05)
+
+    def wake(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    def abort(self) -> None:
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()
+
+
 class _Shared:
     """State shared by all ranks of one spmd_run."""
 
-    def __init__(self, size: int, faults: FaultPlan = None):
+    def __init__(self, size: int, faults: FaultPlan = None, recover: bool = False):
         self.size = size
         # one FIFO per ordered pair keeps per-pair ordering MPI-like
         self.queues = {
@@ -54,11 +118,37 @@ class _Shared:
         }
         self.stats = TrafficStats()
         self.abort = threading.Event()
-        self.barrier = threading.Barrier(size)
         self.faults = faults
         self.fault_log = FaultLog() if faults is not None else None
         if faults is not None:
             self.stats.fault_log = self.fault_log
+        # crash-survival ledger (inert unless recover=True)
+        self.recover = recover
+        self.dead: set = set()
+        self.epoch = 0
+        self.membership_events: list = []
+        self.membership_lock = threading.Lock()
+        self.barrier = _LiveBarrier(self) if recover else threading.Barrier(size)
+
+    def mark_dead(self, rank: int, cause: str, op: int = -1) -> None:
+        """Record a rank's death on the membership ledger (idempotent) and
+        wake any barrier waiters so the live count is re-evaluated."""
+        with self.membership_lock:
+            if rank in self.dead:
+                return
+            self.dead.add(rank)
+            self.epoch += 1
+            self.membership_events.append(
+                MembershipChange(rank=rank, epoch=self.epoch, cause=cause, op=op)
+            )
+        if self.fault_log is not None:
+            self.fault_log.record("dead", rank, seq=op)
+        if isinstance(self.barrier, _LiveBarrier):
+            self.barrier.wake()
+
+    def events_after(self, epoch: int) -> list:
+        with self.membership_lock:
+            return [e for e in self.membership_events if e.epoch > epoch]
 
 
 class Request:
@@ -102,6 +192,8 @@ class SimComm:
         self.phase = "default"
         # out-of-order tag buffer per source
         self._stash = {}
+        self._recover = shared.recover
+        self._ack_epoch = 0
         self._faults = shared.faults
         if self._faults is not None:
             self._ops = 0  # communication-op counter for crash-at-op
@@ -119,6 +211,47 @@ class SimComm:
     def fault_log(self) -> FaultLog:
         """Shared log of injected fault events (``None`` without a plan)."""
         return self._shared.fault_log
+
+    # ------------------------------------------------------------------ #
+    # membership (active only with spmd_run(..., recover=True))
+    # ------------------------------------------------------------------ #
+
+    @property
+    def recovery_enabled(self) -> bool:
+        """True when this run converts rank deaths into membership events."""
+        return self._recover
+
+    def _membership_check(self) -> None:
+        """Raise :class:`PeerCrashed` if the ledger moved past the epoch
+        this rank acknowledged — called from every blocking receive so a
+        survivor can never block forever on a dead peer."""
+        if self._recover and self._shared.epoch > self._ack_epoch:
+            raise PeerCrashed(self._shared.events_after(self._ack_epoch))
+
+    def acknowledge_membership(self) -> list:
+        """Accept the current membership epoch; returns the events newly
+        acknowledged.  Receives stop raising :class:`PeerCrashed` until the
+        next death."""
+        events = self._shared.events_after(self._ack_epoch)
+        if events:
+            self._ack_epoch = events[-1].epoch
+        return events
+
+    @property
+    def ack_epoch(self) -> int:
+        return self._ack_epoch
+
+    def live_ranks(self) -> list:
+        """Sorted ranks still in the computation."""
+        return [r for r in range(self.size) if r not in self._shared.dead]
+
+    def dead_ranks(self) -> list:
+        return sorted(self._shared.dead)
+
+    def clear_stash(self, source: int) -> None:
+        """Discard stashed (delivered but unconsumed) messages from
+        ``source`` — recovery flushes pre-crash traffic this way."""
+        self._stash.pop(source, None)
 
     # ------------------------------------------------------------------ #
     # phases
@@ -142,6 +275,10 @@ class SimComm:
             raise SimMPIAborted("run aborted")
         if not (0 <= dest < self.size):
             raise ValueError(f"invalid dest {dest}")
+        if self._recover and dest in self._shared.dead:
+            # a send to a departed rank is a no-op, like writing to a
+            # connection the transport already tore down
+            return
         if self._faults is not None:
             self._send_faulty(obj, dest, tag)
             return
@@ -168,6 +305,10 @@ class SimComm:
             try:
                 got_tag, payload = q.get(timeout=0.05)
             except queue.Empty:
+                # only raise PeerCrashed when actually stuck: available
+                # messages are always drained first, so ranks whose answer
+                # already arrived make progress through a membership change
+                self._membership_check()
                 timeout -= 0.05
                 if timeout <= 0:
                     raise TimeoutError(
@@ -244,9 +385,10 @@ class SimComm:
         self._count_op()
         if timeout is not None:
             return self._recv_attempt(source, tag, timeout)
-        attempt_timeout = (
+        base_timeout = (
             plan.recv_timeout if plan.recv_timeout is not None else _DEFAULT_TIMEOUT
         )
+        attempt_timeout = base_timeout
         for attempt in range(plan.max_retries + 1):
             try:
                 return self._recv_attempt(source, tag, attempt_timeout)
@@ -256,10 +398,13 @@ class SimComm:
                         raise FaultToleranceExhausted(
                             f"rank {self.rank} gave up receiving from rank "
                             f"{source} tag {tag} after {plan.max_retries + 1} "
-                            f"attempts (backoff {plan.backoff})"
+                            f"attempts (attempt timeouts: "
+                            f"{attempt_schedule(base_timeout, plan.max_retries, plan.backoff)})"
                         )
                     raise
-                self._shared.fault_log.record("retry", self.rank, source, attempt)
+                self._shared.fault_log.record(
+                    "retry", self.rank, source, attempt=attempt
+                )
                 attempt_timeout *= plan.backoff
 
     def _recv_attempt(self, source: int, tag: int, timeout: float):
@@ -288,6 +433,9 @@ class SimComm:
             try:
                 got_tag, seq, not_before, payload = q.get(timeout=0.05)
             except queue.Empty:
+                # stuck, not just slow: surface a membership change before
+                # burning the rest of the attempt budget on a dead peer
+                self._membership_check()
                 remaining -= 0.05
                 if remaining <= 0:
                     raise TimeoutError(
@@ -313,22 +461,41 @@ class SimComm:
     # collectives (built on point-to-point so they are accounted)
     # ------------------------------------------------------------------ #
 
-    def bcast(self, obj, root: int = 0, tag: int = -1):
+    def bcast(self, obj, root: int = 0, tag: int = -1, ranks=None):
+        """Broadcast from ``root``.  ``ranks`` restricts the collective to a
+        subgroup (e.g. the live ranks after a crash); ``None`` keeps the
+        original full-communicator behaviour unchanged."""
+        if ranks is None:
+            if self.rank == root:
+                for dst in range(self.size):
+                    if dst != root:
+                        self.send(obj, dst, tag)
+                return obj
+            return self.recv(root, tag)
         if self.rank == root:
-            for dst in range(self.size):
+            for dst in ranks:
                 if dst != root:
                     self.send(obj, dst, tag)
             return obj
         return self.recv(root, tag)
 
-    def gather(self, obj, root: int = 0, tag: int = -2):
+    def gather(self, obj, root: int = 0, tag: int = -2, ranks=None):
+        """Gather to ``root``.  With ``ranks`` the result list is aligned
+        with (and only covers) the subgroup, in the given order."""
+        if ranks is None:
+            if self.rank == root:
+                out = [None] * self.size
+                out[root] = obj
+                for src in range(self.size):
+                    if src != root:
+                        out[src] = self.recv(src, tag)
+                return out
+            self.send(obj, root, tag)
+            return None
         if self.rank == root:
-            out = [None] * self.size
-            out[root] = obj
-            for src in range(self.size):
-                if src != root:
-                    out[src] = self.recv(src, tag)
-            return out
+            return [
+                obj if src == root else self.recv(src, tag) for src in ranks
+            ]
         self.send(obj, root, tag)
         return None
 
@@ -342,9 +509,13 @@ class SimComm:
             return objs[root]
         return self.recv(root, tag)
 
-    def allgather(self, obj, tag: int = -4):
-        data = self.gather(obj, root=0, tag=tag)
-        return self.bcast(data, root=0, tag=tag - 100)
+    def allgather(self, obj, tag: int = -4, ranks=None):
+        if ranks is None:
+            data = self.gather(obj, root=0, tag=tag)
+            return self.bcast(data, root=0, tag=tag - 100)
+        root = ranks[0]
+        data = self.gather(obj, root=root, tag=tag, ranks=ranks)
+        return self.bcast(data, root=root, tag=tag - 100, ranks=ranks)
 
     def allreduce(self, obj, op=None, tag: int = -5):
         """Reduce with ``op`` (binary callable, default ``+``) then broadcast."""
@@ -392,7 +563,13 @@ class SimComm:
 
 
 def spmd_run(
-    size: int, fn, *args, return_stats: bool = False, faults: FaultPlan = None, **kwargs
+    size: int,
+    fn,
+    *args,
+    return_stats: bool = False,
+    faults: FaultPlan = None,
+    recover: bool = False,
+    **kwargs,
 ):
     """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks.
 
@@ -405,17 +582,35 @@ def spmd_run(
     ``stats.fault_log``.  An injected crash re-raises as
     :class:`~repro.runtime.faults.SimRankCrashed` with the rank and op in
     the message.
+
+    ``recover=True`` switches rank death from fail-stop to membership
+    change: a rank dying of :class:`SimRankCrashed` or
+    :class:`FaultToleranceExhausted` is marked dead on the shared ledger
+    (its slot in the result list stays ``None``), surviving ranks see
+    :class:`~repro.runtime.recovery.PeerCrashed` on their next receive, and
+    the run's :class:`MembershipChange` events are attached to the stats as
+    ``stats.membership_events``.  Only if *every* rank dies is the first
+    death re-raised.
     """
     if size < 1:
         raise ValueError("need at least one rank")
-    shared = _Shared(size, faults=faults)
+    shared = _Shared(size, faults=faults, recover=recover)
     results = [None] * size
     errors = [None] * size
+    deaths = (SimRankCrashed, FaultToleranceExhausted)
 
     def runner(rank: int):
         comm = SimComm(shared, rank)
         try:
             results[rank] = fn(comm, *args, **kwargs)
+        except deaths as exc:
+            errors[rank] = exc
+            if shared.recover:
+                cause = "crash" if isinstance(exc, SimRankCrashed) else "timeout"
+                shared.mark_dead(rank, cause, op=getattr(comm, "_ops", -1))
+            else:
+                shared.abort.set()
+                shared.barrier.abort()
         except BaseException as exc:  # noqa: BLE001 - must not deadlock peers
             errors[rank] = exc
             shared.abort.set()
@@ -429,9 +624,25 @@ def spmd_run(
         t.start()
     for t in threads:
         t.join()
+    shared.stats.membership_events = list(shared.membership_events)
     # Re-raise the root cause: secondary BrokenBarrier/SimMPIAborted errors
     # on peer ranks are consequences of the abort, not the failure itself.
     secondary = (SimMPIAborted, threading.BrokenBarrierError)
+    if recover:
+        # rank deaths were absorbed into membership events; anything else
+        # (including an unhandled PeerCrashed) is still a real failure
+        primary = [
+            (r, e) for r, e in enumerate(errors)
+            if e is not None and not isinstance(e, secondary + deaths)
+        ]
+        if primary:
+            rank, exc = primary[0]
+            raise RuntimeError(f"rank {rank} failed: {exc!r}") from exc
+        if len(shared.dead) == size:
+            raise next(e for e in errors if isinstance(e, deaths))
+        if return_stats:
+            return results, shared.stats
+        return results
     primary = [
         (r, e) for r, e in enumerate(errors)
         if e is not None and not isinstance(e, secondary)

@@ -17,9 +17,11 @@ from repro.testing.bruteforce import (
 from repro.testing.invariants import (
     InvariantViolation,
     check_dual_graph_weights,
+    check_history_agreement,
     check_migration_conservation,
     check_monotone_refinement,
     check_partition_validity,
+    check_recovery_partition,
     check_replica_agreement,
 )
 
@@ -30,6 +32,8 @@ __all__ = [
     "check_dual_graph_weights",
     "check_monotone_refinement",
     "check_replica_agreement",
+    "check_recovery_partition",
+    "check_history_agreement",
     "brute_force_leaf_counts",
     "brute_force_cross_root_edges",
 ]

@@ -136,17 +136,82 @@ def check_monotone_refinement(graph, p: int, old, new, alpha: float, beta: float
         )
 
 
-def check_replica_agreement(comm, owner, tag: int = 90) -> None:
+def check_replica_agreement(comm, owner, tag: int = 90, ranks=None) -> None:
     """All ranks hold the same ownership map — the replicated-state
     invariant the message protocol must maintain.  Collective: every rank
-    of the communicator must call it."""
+    of the communicator (or of ``ranks``, e.g. the survivors after a crash)
+    must call it."""
     import hashlib
 
     owner = np.ascontiguousarray(np.asarray(owner, dtype=np.int64))
     digest = hashlib.sha1(owner.tobytes()).hexdigest()
-    digests = comm.allgather(digest, tag=tag)
+    digests = comm.allgather(digest, tag=tag, ranks=ranks)
     if len(set(digests)) != 1:
         _fail(
             "replica-agreement",
             f"ownership maps diverged across ranks: digests {digests}",
         )
+
+
+def check_recovery_partition(owner, live, n_roots: int = None) -> None:
+    """After coordinator-led crash recovery the owner map must be a total
+    function onto the *surviving* ranks: a valid ``p-1`` (or smaller)
+    partition with no root stranded on a dead rank."""
+    live_set = {int(r) for r in live}
+    if not live_set:
+        _fail("recovery-partition", "no live ranks")
+    owner = np.asarray(owner)
+    check_partition_validity(owner, max(live_set) + 1, n_roots)
+    stranded = np.nonzero(~np.isin(owner, sorted(live_set)))[0]
+    if stranded.size:
+        _fail(
+            "recovery-partition",
+            f"roots {stranded[:10].tolist()} still owned by dead ranks "
+            f"(live = {sorted(live_set)})",
+        )
+
+
+#: per-round record fields run_pared promises to be replica-identical
+_REPLICA_FIELDS = (
+    "round",
+    "leaves",
+    "cut",
+    "shared_vertices",
+    "elements_moved",
+    "trees_moved",
+    "imbalance_before",
+    "p_live",
+)
+
+
+def check_history_agreement(histories) -> None:
+    """Every surviving rank recorded the same per-round replica metrics —
+    the contract ``run_pared`` documents.  ``None`` entries (ranks that
+    died mid-run) are skipped; ``local_load`` is per-rank by design and
+    exempt."""
+    alive = [(r, h) for r, h in enumerate(histories) if h is not None]
+    if len(alive) < 2:
+        return
+    r0, ref = alive[0]
+    for r, h in alive[1:]:
+        if len(h) != len(ref):
+            _fail(
+                "history-agreement",
+                f"rank {r} recorded {len(h)} rounds, rank {r0} {len(ref)}",
+            )
+        for a, b in zip(ref, h):
+            for key in _REPLICA_FIELDS:
+                if a.get(key) != b.get(key):
+                    _fail(
+                        "history-agreement",
+                        f"round {a.get('round')}: field '{key}' differs — "
+                        f"rank {r0} has {a.get(key)!r}, rank {r} has "
+                        f"{b.get(key)!r}",
+                    )
+            for key in ("owner", "old_owner"):
+                if key in a and not np.array_equal(a[key], b[key]):
+                    _fail(
+                        "history-agreement",
+                        f"round {a.get('round')}: '{key}' arrays differ "
+                        f"between rank {r0} and rank {r}",
+                    )

@@ -5,9 +5,21 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.graph.csr import WeightedGraph
 from repro.mesh.adapt import AdaptiveMesh
+
+# The scheduled chaos job runs the property suites wider and without a
+# deadline (recovery runs block on real timeouts, so wall-clock per example
+# is meaningless there): select with ``--hypothesis-profile=chaos`` and a
+# fresh ``--hypothesis-seed`` (see .github/workflows/ci.yml).
+settings.register_profile(
+    "chaos",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
 
 
 @pytest.fixture()

@@ -216,3 +216,99 @@ class TestFullLoop:
         )
         histories, _ = run_pared(cfg)
         assert histories[0][-1]["leaves"] > 0
+
+
+class TestDeltaTombstones:
+    """The P2 delta protocol must *delete* state at the coordinator, not
+    just overwrite it: a key a rank stops reporting (handoff, coarsening)
+    travels as a ``None`` tombstone and the coordinator drops it."""
+
+    @staticmethod
+    def _full_report(mesh):
+        """The single-owner full weight report of a mesh: every vertex and
+        every ``a < b`` edge of its coarse dual graph."""
+        g = coarse_dual_graph(mesh)
+        v = {int(a): float(g.vwts[a]) for a in range(g.n_vertices)}
+        e = {}
+        for a in range(g.n_vertices):
+            for idx in range(g.xadj[a], g.xadj[a + 1]):
+                b = int(g.adjncy[idx])
+                if a < b:
+                    e[(int(a), b)] = float(g.ewts[idx])
+        return {"v": v, "e": e}
+
+    def test_diff_update_emits_tombstones(self):
+        from repro.pared.system import _diff_update
+
+        prev = {"v": {0: 1.0, 1: 2.0}, "e": {(0, 1): 3.0, (1, 2): 1.0}}
+        full = {"v": {0: 1.0, 2: 4.0}, "e": {(0, 1): 5.0}}
+        delta = _diff_update(full, prev)
+        assert delta["v"] == {2: 4.0, 1: None}  # 0 unchanged: not resent
+        assert delta["e"] == {(0, 1): 5.0, (1, 2): None}
+
+    def test_merge_handoff_is_order_independent(self):
+        from repro.pared.system import _CoordinatorGraph
+
+        # root 3 moves from the old owner (tombstone) to a new owner
+        # (fresh value); both reports land in the same round's batch
+        tomb = {"v": {3: None}, "e": {(3, 4): None}}
+        fresh = {"v": {3: 7.0}, "e": {(3, 4): 2.0}}
+        for batch in ([tomb, fresh], [fresh, tomb]):
+            cg = _CoordinatorGraph(8)
+            cg.merge([{"v": {3: 1.0, 4: 1.0}, "e": {(3, 4): 1.0}}])
+            cg.merge(batch)
+            assert cg.vwts[3] == 7.0
+            assert cg.edges[(3, 4)] == 2.0
+
+    def test_stale_entries_are_dropped_at_coordinator(self):
+        """Regression for the unbounded-growth bug: before tombstones, a
+        key that left a rank's owned set survived forever in the
+        coordinator's ``G``.  Re-reporting against a baseline whose edge
+        set shrank must leave ``G`` exactly mirroring the mesh — verified
+        by the same audit the PARED loop runs."""
+        from repro.geometry.generators import structured_tri_mesh
+        from repro.mesh.mesh2d import TriMesh
+        from repro.pared.system import _CoordinatorGraph, _diff_update
+        from repro.testing import check_dual_graph_weights
+
+        grid = AdaptiveMesh.unit_square(2)  # 8 roots, ring adjacency
+        strip = AdaptiveMesh(TriMesh(*structured_tri_mesh(4, 1)))  # 8 roots
+        full_grid = self._full_report(grid.mesh)
+        full_strip = self._full_report(strip.mesh)
+        # precondition: the baseline has edges the new report lacks, so a
+        # diff without tombstones would leave them stale
+        gone = set(full_grid["e"]) - set(full_strip["e"])
+        assert gone, "meshes must differ in coarse adjacency"
+
+        cg = _CoordinatorGraph(8)
+        cg.merge([full_grid])
+        cg.merge([_diff_update(full_strip, full_grid)])
+        assert not (set(cg.edges) & gone)
+        check_dual_graph_weights(strip.mesh, cg.graph())
+
+    def test_coarsen_heavy_audited_run_keeps_graph_exact(self):
+        """End-to-end: a refine-then-coarsen ladder with migrations keeps
+        the coordinator's ``G`` bit-exact against brute-force recounts
+        every round (``audit=True`` trips on any stale entry)."""
+
+        def marker(amesh, rnd):
+            cents = amesh.leaf_centroids()
+            d = np.linalg.norm(cents - 0.5, axis=1)
+            if rnd < 2:  # refine toward the corner...
+                k = max(1, amesh.n_leaves // 4)
+                return amesh.leaf_ids()[np.argsort(d)[:k]], []
+            # ...then coarsen aggressively everywhere
+            return [], list(amesh.leaf_ids())
+
+        cfg = ParedConfig(
+            p=3,
+            make_mesh=lambda: AdaptiveMesh.unit_square(4),
+            marker=marker,
+            rounds=4,
+            pnr=PNR(seed=0),
+            imbalance_trigger=0.01,  # force frequent handoffs
+            audit=True,
+        )
+        histories, _ = run_pared(cfg)
+        leaf_trace = [rec["leaves"] for rec in histories[0]]
+        assert leaf_trace[2] < leaf_trace[1], "ladder must actually coarsen"

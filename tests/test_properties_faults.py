@@ -114,11 +114,13 @@ def test_pnr_cycle_under_combined_plan(seed):
     _assert_transparent(histories)
 
 
-@given(crash_at=st.integers(5, 25))
+@given(crash_at=st.integers(5, 20))
 @settings(max_examples=4, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 def test_rank_crash_is_clean_diagnostic(crash_at):
     """A crashed rank must surface as a typed, attributed error — not a
-    hang, not a silently corrupted history."""
+    hang, not a silently corrupted history.  (The upper bound stays below
+    rank 1's total op count — the sparse migration exchange performs no
+    empty-channel sends, so the unaudited 2-round run is ~24 ops.)"""
     plan = FaultPlan(crash_rank=1, crash_at_op=crash_at)
     with pytest.raises(SimRankCrashed, match=r"rank 1 crashed \(injected fault\)"):
         run_pared(_cfg(plan, audit=False))
