@@ -15,6 +15,8 @@ import pytest
 from repro.fem import CornerLaplace2D, interpolation_error_indicator
 from repro.fem.p1 import stiffness_matrix
 from repro.graph import fiedler_vector
+from repro.graph.contract import contract
+from repro.graph.matching import heavy_edge_matching
 from repro.mesh import AdaptiveMesh, coarse_dual_graph, fine_dual_graph
 from repro.mesh.metrics import shared_vertex_count
 from repro.partition import KLConfig, kl_refine, multilevel_partition
@@ -27,6 +29,20 @@ def adapted():
     from repro.fem import mark_top_fraction
 
     for _ in range(3):
+        ind = interpolation_error_indicator(am, prob.exact)
+        am.refine(mark_top_fraction(am, ind, 0.2))
+    return am
+
+
+@pytest.fixture(scope="module")
+def adapted_large():
+    """10× the default bench mesh (8192 vs 800 coarse elements) — the
+    scale at which the vectorized kernels are demonstrated."""
+    am = AdaptiveMesh.unit_square(64)
+    prob = CornerLaplace2D()
+    from repro.fem import mark_top_fraction
+
+    for _ in range(2):
         ind = interpolation_error_indicator(am, prob.exact)
         am.refine(mark_top_fraction(am, ind, 0.2))
     return am
@@ -79,6 +95,35 @@ def test_kernel_kl_refine(benchmark, adapted):
     cfg = KLConfig(beta=0.8, balance_tol=0.05, max_passes=2)
     a = benchmark(kl_refine, g, a0, 8, None, cfg)
     assert a.shape == a0.shape
+
+
+def test_kernel_heavy_edge_matching(benchmark, adapted):
+    g = coarse_dual_graph(adapted.mesh)
+    m = benchmark(heavy_edge_matching, g, 0)
+    assert np.array_equal(m[m], np.arange(g.n_vertices))
+
+
+def test_kernel_contract(benchmark, adapted):
+    g = coarse_dual_graph(adapted.mesh)
+    m = heavy_edge_matching(g, seed=0)
+    coarse, cmap = benchmark(contract, g, m)
+    assert coarse.vwts.sum() == pytest.approx(g.vwts.sum())
+    assert cmap.shape == (g.n_vertices,)
+
+
+def test_kernel_kl_refine_large(benchmark, adapted_large):
+    g = coarse_dual_graph(adapted_large.mesh)
+    rng = np.random.default_rng(0)
+    a0 = rng.integers(0, 8, g.n_vertices)
+    cfg = KLConfig(beta=0.8, balance_tol=0.05, max_passes=2)
+    a = benchmark(kl_refine, g, a0, 8, None, cfg)
+    assert a.shape == a0.shape
+
+
+def test_kernel_multilevel_partition_large(benchmark, adapted_large):
+    g = coarse_dual_graph(adapted_large.mesh)
+    a = benchmark(multilevel_partition, g, 8, 0)
+    assert len(np.unique(a)) == 8
 
 
 def test_kernel_stiffness_assembly(benchmark, adapted):

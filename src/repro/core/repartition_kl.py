@@ -46,24 +46,20 @@ def _equation1(graph, home, assignment, p, alpha, beta) -> float:
 def _project_down(assignment: np.ndarray, cmap: np.ndarray, vwts: np.ndarray, nc: int):
     """Coarse assignment induced by a fine one: the coarse vertex takes the
     subset of its heaviest constituent (exact when matching was constrained
-    to same-subset pairs, a tie-broken majority vote otherwise)."""
-    # accumulate weight per (coarse vertex, subset); with <=2 constituents a
-    # simple two-slot reduction suffices
-    first = np.full(nc, -1, dtype=np.int64)
-    first_w = np.zeros(nc)
-    second = np.full(nc, -1, dtype=np.int64)
-    second_w = np.zeros(nc)
-    for v in range(assignment.shape[0]):
-        c = cmap[v]
-        s = assignment[v]
-        w = vwts[v]
-        if first[c] == -1 or first[c] == s:
-            first[c] = s
-            first_w[c] += w
-        else:
-            second[c] = s
-            second_w[c] += w
-    out = np.where(second_w > first_w, second, first)
+    to same-subset pairs, a tie-broken majority vote otherwise).
+
+    A coarse vertex has at most two constituents (contraction collapses a
+    matching), so a stable sort by coarse id exposes each pair as a segment
+    ``[f1, f2]`` with ``f1`` the lower-indexed fine vertex — ties go to
+    ``f1``, matching the old sequential scan exactly."""
+    order = np.argsort(cmap, kind="stable")
+    cs = cmap[order]
+    ids = np.arange(nc)
+    f1 = order[np.searchsorted(cs, ids, side="left")]
+    f2 = order[np.searchsorted(cs, ids, side="right") - 1]
+    s1 = assignment[f1]
+    s2 = assignment[f2]
+    out = np.where((s2 != s1) & (vwts[f2] > vwts[f1]), s2, s1)
     return out.astype(np.int64)
 
 

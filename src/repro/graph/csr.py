@@ -65,15 +65,31 @@ class WeightedGraph:
             eweights = eweights[keep]
         if edges.size and (edges.min() < 0 or edges.max() >= n):
             raise ValueError("edge endpoint out of range")
-        # symmetrize then merge duplicates through a sparse matrix round-trip
+        # symmetrize, sort into row-major order, merge duplicates with a
+        # segmented sum — same CSR (sorted indices per row) the old sparse
+        # matrix round-trip produced, without building a scipy matrix
         rows = np.concatenate([edges[:, 0], edges[:, 1]])
         cols = np.concatenate([edges[:, 1], edges[:, 0]])
         wts = np.concatenate([eweights, eweights])
-        mat = sp.csr_matrix((wts, (rows, cols)), shape=(n, n))
-        mat.sum_duplicates()
+        order = np.lexsort((cols, rows))
+        rows, cols, wts = rows[order], cols[order], wts[order]
+        if rows.size:
+            head = np.empty(rows.size, dtype=bool)
+            head[0] = True
+            head[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+            starts = np.nonzero(head)[0]
+            adjncy = cols[starts]
+            data = np.add.reduceat(wts, starts)
+            counts = np.bincount(rows[starts], minlength=n)
+        else:
+            adjncy = cols
+            data = wts
+            counts = np.zeros(n, dtype=np.int64)
+        xadj = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=xadj[1:])
         if vweights is None:
             vweights = np.ones(n)
-        return cls(mat.indptr, mat.indices, mat.data, vweights)
+        return cls(xadj, adjncy, data, vweights)
 
     @classmethod
     def from_scipy(cls, mat, vweights=None) -> "WeightedGraph":

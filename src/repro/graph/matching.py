@@ -1,16 +1,27 @@
 """Vertex matchings for multilevel graph contraction.
 
-Heavy-edge matching (HEM) visits vertices in random order and matches each
-unmatched vertex with its unmatched neighbor across the heaviest edge
-[Karypis & Kumar 1995].  Contracting a heavy-edge matching removes as much
+Heavy-edge matching (HEM) matches vertices across heavy edges
+[Karypis & Kumar 1995]: contracting a heavy-edge matching removes as much
 edge weight as possible from the coarser graph, which keeps coarse cuts
 representative of fine cuts.
+
+Both matchings here are computed with the same array-round machinery
+(so ablation benches share a cost shape): every undirected edge gets a
+unique priority — edge weight with a seeded random tie-break for HEM, a
+pure seeded shuffle for :func:`random_matching` — and then mutual-proposal
+rounds run until no edge joins two unmatched vertices.  Each round, every
+unmatched vertex proposes along its highest-priority surviving edge and
+mutual proposals become matches.  The globally best surviving edge is both
+of its endpoints' best, so every round matches at least one pair and the
+loop terminates with a *maximal* matching.  Randomness is drawn only at
+setup, so results are a pure function of ``(graph, seed, constraint)``.
 
 ``constraint`` support: the repartitioning variant of the multilevel scheme
 (PNR, Section 9) must contract only *within* subsets of the current
 partition, so that every coarse vertex inherits a well-defined current
 assignment.  Pass the current assignment as ``constraint`` and only
-same-label pairs are matched.
+same-label pairs are matched — enforced here as a static edge filter
+before any round runs.
 """
 
 from __future__ import annotations
@@ -18,6 +29,59 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import WeightedGraph
+from repro.perf import PERF
+
+
+def _candidate_edges(graph: WeightedGraph, constraint):
+    """One row per undirected constraint-respecting edge: (src, dst, ewts)."""
+    n = graph.n_vertices
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.xadj))
+    dst = graph.adjncy
+    keep = src < dst  # CSR stores each undirected edge twice
+    if constraint is not None:
+        constraint = np.asarray(constraint)
+        keep &= constraint[src] == constraint[dst]
+    return src[keep], dst[keep], graph.ewts[keep]
+
+
+def _match_rounds(n: int, es, ed, rank) -> np.ndarray:
+    """Mutual-proposal rounds over edges with unique priorities ``rank``.
+
+    Invariant per round: an edge survives iff both endpoints are still
+    unmatched, and each vertex proposes along its max-rank surviving edge.
+    The max-rank surviving edge overall is mutual, so rounds always make
+    progress; on exit no surviving edge remains, hence maximality.
+    """
+    match = np.full(n, -1, dtype=np.int64)
+    if es.size:
+        # Incidence view, pre-sorted once by (vertex, rank): after any
+        # stable boolean compaction the *last* entry of a vertex's segment
+        # is that vertex's best surviving edge.
+        ends = np.concatenate([es, ed])
+        other = np.concatenate([ed, es])
+        erank = np.concatenate([rank, rank])
+        order = np.lexsort((erank, ends))
+        ends, other = ends[order], other[order]
+
+        best_other = np.full(n, -1, dtype=np.int64)
+        while ends.size:
+            is_last = np.empty(ends.size, dtype=bool)
+            is_last[:-1] = ends[:-1] != ends[1:]
+            is_last[-1] = True
+            prop_v = ends[is_last]
+            prop_u = other[is_last]
+            best_other[prop_v] = prop_u
+            mutual = (best_other[prop_u] == prop_v) & (prop_v < prop_u)
+            mv = prop_v[mutual]
+            mu = prop_u[mutual]
+            match[mv] = mu
+            match[mu] = mv
+            alive = (match[ends] == -1) & (match[other] == -1)
+            ends, other = ends[alive], other[alive]
+
+    unmatched = match == -1
+    match[unmatched] = np.nonzero(unmatched)[0]
+    return match
 
 
 def heavy_edge_matching(
@@ -30,58 +94,22 @@ def heavy_edge_matching(
     Returns ``match`` with ``match[v]`` = matched partner of ``v`` or ``v``
     itself if unmatched.  ``match`` is an involution.
     """
-    n = graph.n_vertices
-    match = np.full(n, -1, dtype=np.int64)
-    rng = np.random.default_rng(seed)
-    order = rng.permutation(n)
-    xadj, adjncy, ewts = graph.xadj, graph.adjncy, graph.ewts
-    if constraint is not None:
-        constraint = np.asarray(constraint)
-    for v in order:
-        if match[v] != -1:
-            continue
-        lo, hi = xadj[v], xadj[v + 1]
-        best = -1
-        best_w = -np.inf
-        for idx in range(lo, hi):
-            u = adjncy[idx]
-            if match[u] != -1:
-                continue
-            if constraint is not None and constraint[u] != constraint[v]:
-                continue
-            w = ewts[idx]
-            if w > best_w:
-                best_w = w
-                best = u
-        if best >= 0:
-            match[v] = best
-            match[best] = v
-        else:
-            match[v] = v
-    return match
+    with PERF.span("matching.hem"):
+        es, ed, ew = _candidate_edges(graph, constraint)
+        rng = np.random.default_rng(seed)
+        # dense unique rank: heavier edges first, seeded shuffle breaks ties
+        tie = rng.permutation(es.size)
+        order = np.lexsort((tie, ew))
+        rank = np.empty(es.size, dtype=np.int64)
+        rank[order] = np.arange(es.size, dtype=np.int64)
+        return _match_rounds(graph.n_vertices, es, ed, rank)
 
 
 def random_matching(graph: WeightedGraph, seed: int = 0, constraint=None) -> np.ndarray:
     """Maximal random matching (baseline for ablations; same contract as
     :func:`heavy_edge_matching`)."""
-    n = graph.n_vertices
-    match = np.full(n, -1, dtype=np.int64)
-    rng = np.random.default_rng(seed)
-    order = rng.permutation(n)
-    xadj, adjncy = graph.xadj, graph.adjncy
-    if constraint is not None:
-        constraint = np.asarray(constraint)
-    for v in order:
-        if match[v] != -1:
-            continue
-        nbrs = adjncy[xadj[v] : xadj[v + 1]]
-        cands = [u for u in nbrs if match[u] == -1]
-        if constraint is not None:
-            cands = [u for u in cands if constraint[u] == constraint[v]]
-        if cands:
-            u = cands[rng.integers(len(cands))]
-            match[v] = u
-            match[u] = v
-        else:
-            match[v] = v
-    return match
+    with PERF.span("matching.random"):
+        es, ed, _ = _candidate_edges(graph, constraint)
+        rng = np.random.default_rng(seed)
+        rank = rng.permutation(es.size).astype(np.int64)
+        return _match_rounds(graph.n_vertices, es, ed, rank)

@@ -30,6 +30,7 @@ recovered histories.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Optional
 
 import numpy as np
@@ -43,6 +44,7 @@ from repro.mesh.metrics import cut_size, shared_vertex_count
 from repro.pared.distmesh import DistributedMesh
 from repro.pared.migrate import execute_migration, plan_recovery_assignment
 from repro.partition.multilevel import multilevel_partition
+from repro.perf import PERF
 from repro.runtime.faults import FaultPlan
 from repro.runtime.recovery import (
     NO_CHECKPOINT,
@@ -255,6 +257,7 @@ def _pared_round(comm, cfg: ParedConfig, st: _RankState, rnd: int) -> None:
     live = dmesh.live
 
     # ---- P0: adapt ------------------------------------------------ #
+    tick = perf_counter()
     comm.set_phase("P0")
     refine_ids, coarsen_ids = cfg.marker(amesh, rnd)
     owned = set(int(e) for e in dmesh.owned_leaf_ids())
@@ -267,16 +270,22 @@ def _pared_round(comm, cfg: ParedConfig, st: _RankState, rnd: int) -> None:
     leaves_before = amesh.leaf_ids().copy()
 
     # ---- P1: local weights ---------------------------------------- #
+    PERF.add("pared.P0", perf_counter() - tick)
+    tick = perf_counter()
     comm.set_phase("P1")
     full = dmesh.local_weight_update(None)
     delta = _diff_update(full, st.prev_full)
     st.prev_full = full
 
     # ---- P2: ship to coordinator ---------------------------------- #
+    PERF.add("pared.P1", perf_counter() - tick)
+    tick = perf_counter()
     comm.set_phase("P2")
     msgs = dmesh.send_weights_to_coordinator(delta, C)
 
     # ---- P3: repartition & migrate -------------------------------- #
+    PERF.add("pared.P2", perf_counter() - tick)
+    tick = perf_counter()
     comm.set_phase("P3")
     if comm.rank == C:
         st.coord_graph.merge(msgs)
@@ -321,7 +330,9 @@ def _pared_round(comm, cfg: ParedConfig, st: _RankState, rnd: int) -> None:
     imb = mig["extra"]
 
     # ---- audit: executable invariants of the round ----------------- #
+    PERF.add("pared.P3", perf_counter() - tick)
     if cfg.audit:
+        tick = perf_counter()
         comm.set_phase("audit")
         check_partition_validity(dmesh.owner, comm.size, amesh.n_roots)
         if len(live) < comm.size:
@@ -351,6 +362,7 @@ def _pared_round(comm, cfg: ParedConfig, st: _RankState, rnd: int) -> None:
                         cfg.pnr.alpha,
                         cfg.pnr.beta,
                     )
+        PERF.add("pared.audit", perf_counter() - tick)
 
     # ---- metrics (identical on every replica) ---------------------- #
     fine = leaf_assignment_from_roots(amesh.mesh, dmesh.owner)
@@ -524,7 +536,14 @@ def run_pared(cfg: ParedConfig):
     agree across ranks — enforced by
     :func:`~repro.testing.check_history_agreement`; ``local_load`` differs
     by design).  With ``cfg.recover=True`` a crashed rank's slot is ``None``
-    and ``traffic_stats.membership_events`` records the deaths."""
+    and ``traffic_stats.membership_events`` records the deaths.
+
+    ``traffic_stats.kernel_perf`` holds the wall-clock profile of the run —
+    ``{name: (calls, seconds)}`` aggregated over all ranks: the round phases
+    (``pared.P0``..``pared.P3``, ``pared.audit``) and the multilevel kernels
+    underneath them (``kl.refine``, ``matching.hem``, ``contract``, ...).
+    See docs/performance.md."""
+    PERF.reset()
     histories, stats = spmd_run(
         cfg.p,
         _pared_rank,
@@ -534,4 +553,5 @@ def run_pared(cfg: ParedConfig):
         recover=cfg.recover,
     )
     check_history_agreement(histories)
+    stats.kernel_perf = PERF.snapshot()
     return histories, stats

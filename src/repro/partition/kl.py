@@ -17,13 +17,27 @@ Implementation notes
 --------------------
 The paper maintains a square table of per-subset-pair priority queues of
 moves, popping the best head.  We keep one global heap of candidate moves
-with *lazy invalidation*: the heap stores the move's cut+migration gain
-(static while the vertex stays put and its neighborhood is unchanged); on
-pop the entry is revalidated against a freshly computed static gain, and
-the weight-dependent balance gain (which shifts with every move — the
-"rebuilding priority queues" cost the paper notes) is added at pop time.
-A small look-ahead window re-ranks the top candidates by their *full* gain
-so balance-driven moves surface even when their static gain is modest.
+with *stamped invalidation* over flat array state:
+
+* per-vertex connectivity lives in a flat ``(n·p,)`` array filled by one
+  vectorized ``bincount`` over the CSR arrays per pass — ``static_gain``
+  is two O(1) array reads (external minus internal degree), never a
+  per-call dict;
+* moving a vertex updates only its neighborhood's connectivity, through
+  one ``xadj`` slice (two fancy-indexed array ops per move);
+* every heap entry carries a per-(vertex, destination) *generation stamp*.
+  Refreshing a candidate bumps the stamp and pushes one new entry; stale
+  entries are discarded O(1) on pop.  This keeps the live heap O(boundary)
+  — the old engine re-pushed every destination of every neighbor on every
+  move and paid a gain recomputation per stale pop;
+* the boundary is seeded from an external-degree mask computed
+  vectorized, not ``np.unique`` over the crossing-edge list.
+
+The weight-dependent balance gain (which shifts with every move — the
+"rebuilding priority queues" cost the paper notes) is added at pop time,
+and a small look-ahead window re-ranks the top candidates by their *full*
+gain so balance-driven moves surface even when their static gain is
+modest.
 
 Each pass performs KL hill-climbing with rollback: moves are applied even
 when individually negative, cumulative gain is tracked, and at pass end the
@@ -39,12 +53,14 @@ they are inserted on the fly.
 from __future__ import annotations
 
 import heapq
+import itertools
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.graph.csr import WeightedGraph
 from repro.partition.metrics import graph_cut, validate_assignment
+from repro.perf import PERF
 
 
 @dataclass
@@ -67,6 +83,12 @@ class KLConfig:
         Look-ahead width when re-ranking heap candidates by full gain.
     min_gain:
         A pass must improve the objective by more than this to continue.
+    stall_limit:
+        A pass ends after this many consecutive moves without a new best
+        prefix (0 disables).  KL's hill-climbing tail — applying every
+        remaining boundary move just to roll it back — is where converged
+        passes spend their time; bounding the stall keeps a no-op pass
+        O(stall_limit) instead of O(boundary · degree).
     balance_mode:
         ``"quadratic"`` — the literal ``Σ(W_i − W̄)²`` of Equation 1;
         ``"deadband"`` — quadratic on the *excess outside* the
@@ -82,15 +104,17 @@ class KLConfig:
     max_passes: int = 10
     window: int = 8
     min_gain: float = 1e-9
+    stall_limit: int = 256
     balance_mode: str = "quadratic"
 
 
 class _KLState:
-    """Mutable state shared by the passes of one kl_refine call."""
+    """Immutable-shape state shared by the passes of one kl_refine call."""
 
     __slots__ = (
-        "graph", "p", "assign", "home", "cfg", "weights", "mean", "maxcap",
-        "band", "xadj", "adjncy", "ewts", "vwts",
+        "graph", "p", "assign", "home", "cfg", "mean", "maxcap", "band",
+        "xadj", "adjncy", "ewts", "vwts", "src",
+        "xadj_l", "adj_l", "ewt_l", "vw_l", "hom_l",
     )
 
     def __init__(self, graph, p, assign, home, cfg):
@@ -100,8 +124,8 @@ class _KLState:
         self.home = home
         self.cfg = cfg
         self.vwts = graph.vwts
-        self.weights = np.bincount(assign, weights=graph.vwts, minlength=p)
-        self.mean = self.weights.sum() / p
+        weights = np.bincount(assign, weights=graph.vwts, minlength=p)
+        self.mean = float(weights.sum()) / p
         # The balance envelope cannot be tighter than the vertex-weight
         # granularity: with indivisible trees of weight up to w_max, subset
         # weights are only controllable to ~w_max/2.  Chasing a tighter
@@ -112,60 +136,16 @@ class _KLState:
         self.xadj = graph.xadj
         self.adjncy = graph.adjncy
         self.ewts = graph.ewts
-
-    # -- gain components ------------------------------------------------- #
-
-    def conn(self, v: int):
-        """Connectivity of ``v``: dict subset -> total edge weight."""
-        out = {}
-        lo, hi = self.xadj[v], self.xadj[v + 1]
-        assign = self.assign
-        for idx in range(lo, hi):
-            s = assign[self.adjncy[idx]]
-            out[s] = out.get(s, 0.0) + self.ewts[idx]
-        return out
-
-    def static_gain(self, v: int, j: int, conn=None) -> float:
-        """Cut + migration gain of moving ``v`` from its current subset to
-        ``j`` (independent of subset weights)."""
-        i = self.assign[v]
-        if conn is None:
-            conn = self.conn(v)
-        g = conn.get(j, 0.0) - conn.get(i, 0.0)
-        if self.home is not None and self.cfg.alpha:
-            w = self.vwts[v]
-            h = self.home[v]
-            dmig = (1.0 if j != h else 0.0) - (1.0 if i != h else 0.0)
-            g -= self.cfg.alpha * w * dmig
-        return float(g)
-
-    def _phi(self, W: float) -> float:
-        """Per-subset balance penalty at weight ``W`` for the active mode."""
-        if self.cfg.balance_mode == "deadband":
-            cap = self.maxcap
-            floor = self.mean - self.band
-            over = W - cap
-            under = floor - W
-            out = 0.0
-            if over > 0:
-                out += over * over
-            if under > 0:
-                out += under * under
-            return out
-        d = W - self.mean
-        return d * d
-
-    def balance_gain(self, v: int, j: int) -> float:
-        """−β·ΔC_balance for moving ``v`` to ``j`` at current weights
-        (``2βw(W_i − W_j − w)`` in the quadratic mode)."""
-        if not self.cfg.beta:
-            return 0.0
-        i = self.assign[v]
-        w = self.vwts[v]
-        Wi, Wj = self.weights[i], self.weights[j]
-        before = self._phi(Wi) + self._phi(Wj)
-        after = self._phi(Wi - w) + self._phi(Wj + w)
-        return self.cfg.beta * (before - after)
+        n = graph.n_vertices
+        self.src = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.xadj))
+        # Hot-loop list mirrors of the immutable arrays, built once per
+        # kl_refine call and shared by every pass (tolist() per pass is
+        # measurable at bench scale: ~15% of a converged pass).
+        self.xadj_l = self.xadj.tolist()
+        self.adj_l = self.adjncy.tolist()
+        self.ewt_l = self.ewts.tolist()
+        self.vw_l = self.vwts.tolist()
+        self.hom_l = home.tolist() if (home is not None and cfg.alpha) else None
 
     def objective(self) -> float:
         """The full configured objective at the current assignment:
@@ -175,119 +155,297 @@ class _KLState:
             moved = self.assign != self.home
             obj += self.cfg.alpha * float(self.vwts[moved].sum())
         if self.cfg.beta:
-            obj += self.cfg.beta * float(sum(self._phi(W) for W in self.weights))
+            w = np.bincount(self.assign, weights=self.vwts, minlength=self.p)
+            if self.cfg.balance_mode == "deadband":
+                over = np.maximum(w - self.maxcap, 0.0)
+                under = np.maximum((self.mean - self.band) - w, 0.0)
+                obj += self.cfg.beta * float((over * over + under * under).sum())
+            else:
+                d = w - self.mean
+                obj += self.cfg.beta * float((d * d).sum())
         return float(obj)
-
-    def admissible(self, v: int, j: int) -> bool:
-        """Hard balance envelope (see :class:`KLConfig`)."""
-        i = self.assign[v]
-        w = self.vwts[v]
-        wj_after = self.weights[j] + w
-        return wj_after <= self.maxcap or wj_after <= self.weights[i]
-
-    def apply(self, v: int, j: int) -> int:
-        """Move ``v`` to ``j``; returns its previous subset."""
-        i = int(self.assign[v])
-        w = self.vwts[v]
-        self.assign[v] = j
-        self.weights[i] -= w
-        self.weights[j] += w
-        return i
-
-
-def _push_vertex(state: _KLState, heap, locked, v: int, counter) -> None:
-    """Insert heap entries for every candidate destination of ``v``.
-
-    Destinations are the subsets adjacent to ``v``; when the balance term is
-    active, the globally lightest subset is also offered, so starved or even
-    *empty* subsets (which no vertex is adjacent to) can be re-seeded — the
-    balance gain decides whether such a teleport is worth its cut cost.
-    """
-    if locked[v]:
-        return
-    conn = state.conn(v)
-    i = state.assign[v]
-    dests = set(conn)
-    if state.cfg.beta:
-        dests.add(int(np.argmin(state.weights)))
-    for j in dests:
-        if j == i:
-            continue
-        g = state.static_gain(v, j, conn)
-        heapq.heappush(heap, (-g, next(counter), int(v), int(j), g))
 
 
 def _kl_pass(state: _KLState) -> float:
     """One KL pass with rollback; returns the objective improvement kept."""
-    import itertools
-
-    graph = state.graph
-    n = graph.n_vertices
+    cfg = state.cfg
+    n = state.graph.n_vertices
+    p = state.p
     assign = state.assign
-    locked = np.zeros(n, dtype=bool)
-    counter = itertools.count()
-    heap: list = []
+    home = state.home
+    alpha = float(cfg.alpha) if home is not None else 0.0
+    beta = float(cfg.beta)
+    mean = state.mean
+    maxcap = state.maxcap
+    floor_w = mean - state.band
+    deadband = cfg.balance_mode == "deadband"
+    min_gain = cfg.min_gain
+    window_n = cfg.window
 
-    # Seed with the current boundary.
-    src = np.repeat(np.arange(n), np.diff(state.xadj))
-    cross = assign[src] != assign[state.adjncy]
-    boundary = np.unique(src[cross])
+    # Flat connectivity: conn2d[v, s] = edge weight from v into subset s,
+    # built by one vectorized bincount over the CSR arrays.
+    conn2d = np.bincount(
+        state.src * p + assign[state.adjncy], weights=state.ewts,
+        minlength=n * p,
+    ).reshape(n, p)
+
+    weights_np = np.bincount(assign, weights=state.vwts, minlength=p)
+
+    # Boundary mask: positive external degree (edge weights are positive, so
+    # "row sum minus internal degree" is exact, no np.unique pass needed).
+    internal = conn2d[np.arange(n), assign]
+    bmask = (conn2d.sum(axis=1) - internal) > 0.0
     # Under heavy imbalance the boundary alone may not free enough weight;
     # also seed every vertex of overweight subsets when beta is active.
-    if state.cfg.beta:
-        over = np.nonzero(state.weights > state.maxcap)[0]
-        if over.size:
-            extra = np.nonzero(np.isin(assign, over))[0]
-            boundary = np.union1d(boundary, extra)
-    for v in boundary:
-        _push_vertex(state, heap, locked, int(v), counter)
+    if beta:
+        over = weights_np > maxcap
+        if over.any():
+            bmask |= over[assign]
+    bidx = np.flatnonzero(bmask)
+
+    # Vectorized initial heap: every (boundary vertex, adjacent subset)
+    # candidate in one shot.  When the balance term is active, the globally
+    # lightest subset is also offered, so starved or even *empty* subsets
+    # (which no vertex is adjacent to) can be re-seeded — the balance gain
+    # decides whether such a teleport is worth its cut cost.
+    gen = [0] * (n * p)
+    heap: list = []
+    if bidx.size:
+        cand = conn2d[bidx] > 0
+        iv = assign[bidx]
+        cand[np.arange(bidx.size), iv] = False
+        if beta:
+            light0 = int(np.argmin(weights_np))
+            cand[:, light0] |= iv != light0
+        r, c = np.nonzero(cand)
+        vs = bidx[r]
+        ivs = assign[vs]
+        gs = conn2d[vs, c] - conn2d[vs, ivs]
+        if alpha:
+            hh = home[vs]
+            gs = gs - alpha * state.vwts[vs] * (
+                (c != hh).astype(np.float64) - (ivs != hh).astype(np.float64)
+            )
+        flat_idx = vs * p + c
+        for k, (g, v, j, fi) in enumerate(
+            zip(gs.tolist(), vs.tolist(), c.tolist(), flat_idx.tolist())
+        ):
+            gen[fi] = 1
+            heap.append((-g, k, v, j, 1))
+        heapq.heapify(heap)
+
+    # All hot-loop state is flat Python lists: every read/write below is a
+    # scalar, no numpy scalar boxing on the per-move path.
+    connf = conn2d.ravel().tolist()
+    locked = [False] * n
+    asg = assign.tolist()
+    vw = state.vw_l
+    wt = weights_np.tolist()
+    hom = state.hom_l
+    xadj_l = state.xadj_l
+    adj_l = state.adj_l
+    ewt_l = state.ewt_l
+
+    counter = itertools.count(len(heap))
+    nxt = counter.__next__
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    def touch(u: int, ub: int, au: int, base: float, j: int, light: int) -> None:
+        """Re-stamp destination ``j`` of ``u`` after its gain changed: push
+        one fresh entry if it is (still) a candidate — connected, or the
+        teleport target — else just invalidate the stale entry."""
+        idx = ub + j
+        cw = connf[idx]
+        if cw > 0.0 or j == light:
+            g = cw - base
+            if alpha:
+                hu = hom[u]
+                g -= (alpha * vw[u] if j != hu else 0.0) - (
+                    alpha * vw[u] if au != hu else 0.0
+                )
+            s = gen[idx] + 1
+            gen[idx] = s
+            heappush(heap, (-g, nxt(), u, j, s))
+        elif gen[idx]:
+            gen[idx] += 1  # candidate died; its stale entry is discarded on pop
 
     moves: list = []  # (v, from_subset)
     cum = 0.0
     best_cum = 0.0
     best_len = 0
+    stall_limit = cfg.stall_limit
+    wbuf: list = []
+    # Admissibility-blocked candidates, indexed by what would unblock them:
+    # entry (v: i→j) re-enters the heap when subset j loses weight or subset
+    # i gains weight — the only events that can flip its envelope check.
+    defer_tgt: list = [[] for _ in range(p)]  # blocked on target j too heavy
+    defer_src: list = [[] for _ in range(p)]  # blocked on own subset i too light
+
+    def revive(e) -> None:
+        lv = e[2]
+        lj = e[3]
+        idx = lv * p + lj
+        if locked[lv] or gen[idx] != e[4]:
+            return  # superseded meanwhile (also dedups the twin listing)
+        s = gen[idx] + 1
+        gen[idx] = s
+        heappush(heap, (e[0], nxt(), lv, lj, s))
 
     while heap:
+        if stall_limit and len(moves) - best_len >= stall_limit:
+            break  # converged: the remaining tail would be rolled back
         # Look-ahead window: pop up to `window` valid entries, take the one
-        # with the best *full* gain, push the rest back.
-        window: list = []
-        while heap and len(window) < state.cfg.window:
-            negg, _, v, j, g_stored = heapq.heappop(heap)
+        # with the best *full* gain, push the rest back.  With beta == 0
+        # the full gain *is* the static heap key, so the first valid pop
+        # is already the best move — no window churn.
+        del wbuf[:]
+        while heap and len(wbuf) < window_n:
+            e = heappop(heap)
+            v = e[2]
             if locked[v]:
                 continue
-            g_now = state.static_gain(v, j)
-            if abs(g_now - g_stored) > 1e-12:
-                # stale: reinsert with the corrected key
-                heapq.heappush(heap, (-g_now, next(counter), v, j, g_now))
+            j = e[3]
+            if gen[v * p + j] != e[4]:
+                continue  # stale: superseded by a fresher entry
+            i = asg[v]
+            w = vw[v]
+            wj_after = wt[j] + w
+            # Hard balance envelope (see KLConfig.balance_tol).  A blocked
+            # candidate is *deferred*, not dropped: admissibility depends on
+            # the live subset weights, so a later move can unblock it.
+            if not (wj_after <= maxcap or wj_after <= wt[i]):
+                defer_tgt[j].append(e)
+                defer_src[i].append(e)
                 continue
-            if not state.admissible(v, j):
-                continue
-            window.append((g_now + state.balance_gain(v, j), v, j, g_now))
-        if not window:
+            full = -e[0]
+            if not beta:
+                wbuf.append((full, e))
+                break
+            if beta:
+                Wi = wt[i]
+                Wj = wt[j]
+                if deadband:
+                    bg = 0.0
+                    d = Wi - maxcap
+                    if d > 0.0:
+                        bg += d * d
+                    d = floor_w - Wi
+                    if d > 0.0:
+                        bg += d * d
+                    d = Wj - maxcap
+                    if d > 0.0:
+                        bg += d * d
+                    d = floor_w - Wj
+                    if d > 0.0:
+                        bg += d * d
+                    Wi -= w
+                    Wj += w
+                    d = Wi - maxcap
+                    if d > 0.0:
+                        bg -= d * d
+                    d = floor_w - Wi
+                    if d > 0.0:
+                        bg -= d * d
+                    d = Wj - maxcap
+                    if d > 0.0:
+                        bg -= d * d
+                    d = floor_w - Wj
+                    if d > 0.0:
+                        bg -= d * d
+                else:
+                    # Σ(W−W̄)² telescopes to the classic 2w(W_i − W_j − w)
+                    bg = 2.0 * w * (Wi - Wj - w)
+                full += beta * bg
+            wbuf.append((full, e))
+        if not wbuf:
             break
-        window.sort(key=lambda t: -t[0])
-        full, v, j, g_stat = window[0]
-        for w_full, wv, wj, wg in window[1:]:
-            heapq.heappush(heap, (-wg, next(counter), wv, wj, wg))
+        best_t = 0
+        if len(wbuf) > 1:
+            bf = wbuf[0][0]
+            for t in range(1, len(wbuf)):
+                if wbuf[t][0] > bf:
+                    bf = wbuf[t][0]
+                    best_t = t
+        full, e = wbuf[best_t]
+        v = e[2]
+        j = e[3]
 
-        i = state.apply(v, j)
+        i = asg[v]
+        w = vw[v]
+        asg[v] = j
+        wt[i] -= w
+        wt[j] += w
         locked[v] = True
         moves.append((v, i))
         cum += full
-        if cum > best_cum + state.cfg.min_gain:
+        if cum > best_cum + min_gain:
             best_cum = cum
             best_len = len(moves)
 
-        # Neighbors' connectivity changed; refresh their candidate entries.
-        lo, hi = state.xadj[v], state.xadj[v + 1]
-        for idx in range(lo, hi):
-            u = int(state.adjncy[idx])
-            if not locked[u]:
-                _push_vertex(state, heap, locked, u, counter)
+        if beta:
+            light = 0
+            wl = wt[0]
+            for s in range(1, p):
+                if wt[s] < wl:
+                    wl = wt[s]
+                    light = s
+        else:
+            light = -1
+
+        # Only v's neighborhood is touched: walk its xadj slice, shifting
+        # each neighbor's connectivity from column i to column j and
+        # re-stamping the affected candidate entries.
+        for t in range(xadj_l[v], xadj_l[v + 1]):
+            u = adj_l[t]
+            w_uv = ewt_l[t]
+            ub = u * p
+            connf[ub + i] -= w_uv
+            connf[ub + j] += w_uv
+            if locked[u]:
+                continue
+            au = asg[u]
+            base = connf[ub + au]
+            if au == i or au == j:
+                # u's internal degree changed: every destination shifted
+                for d in range(p):
+                    if d != au:
+                        touch(u, ub, au, base, d, light)
+            else:
+                touch(u, ub, au, base, i, light)
+                touch(u, ub, au, base, j, light)
+                if light >= 0 and light != i and light != j:
+                    touch(u, ub, au, base, light, light)
+
+        # Re-seed the window leftovers — but only those the move's refreshes
+        # did not already supersede (stamp still current).
+        if len(wbuf) > 1:
+            for t in range(len(wbuf)):
+                if t == best_t:
+                    continue
+                le = wbuf[t][1]
+                lv = le[2]
+                if not locked[lv] and gen[lv * p + le[3]] == le[4]:
+                    heappush(heap, le)
+        # The move drained subset i and fed subset j: wake the blocked
+        # candidates whose envelope check those two weight changes affect.
+        if defer_tgt[i]:
+            for le in defer_tgt[i]:
+                revive(le)
+            del defer_tgt[i][:]
+        if defer_src[j]:
+            for le in defer_src[j]:
+                revive(le)
+            del defer_src[j][:]
 
     # Roll back the suffix after the best prefix.
-    for v, i in reversed(moves[best_len:]):
-        state.apply(v, int(i))
+    for t in range(len(moves) - 1, best_len - 1, -1):
+        v, i = moves[t]
+        w = vw[v]
+        wt[asg[v]] -= w
+        wt[i] += w
+        asg[v] = i
+    assign[:] = asg
     return best_cum
 
 
@@ -319,24 +477,26 @@ def kl_refine(
     assign = validate_assignment(graph, assignment, p).copy()
     if home is not None:
         home = validate_assignment(graph, home, p)
-    state = _KLState(graph, p, assign, home, cfg)
-    # Track the best-seen partition under the *full* objective.  The
-    # per-pass incremental gains telescope that objective exactly, but
-    # guarding on the evaluated value makes refinement monotone-or-rollback
-    # by construction: a pass whose bookkeeping drifts (or a later pass
-    # that trades away an earlier gain) can never make the returned
-    # partition worse than the best state ever reached — in particular
-    # never worse than the input.
-    best = state.assign.copy()
-    best_obj = state.objective()
-    for _ in range(cfg.max_passes):
-        improved = _kl_pass(state)
-        obj = state.objective()
-        if obj < best_obj - cfg.min_gain:
-            best_obj = obj
-            best[:] = state.assign
-        if improved <= cfg.min_gain:
-            break
-    if state.objective() > best_obj + cfg.min_gain:
-        return best
+    with PERF.span("kl.refine"):
+        state = _KLState(graph, p, assign, home, cfg)
+        # Track the best-seen partition under the *full* objective.  The
+        # per-pass incremental gains telescope that objective exactly, but
+        # guarding on the evaluated value makes refinement monotone-or-rollback
+        # by construction: a pass whose bookkeeping drifts (or a later pass
+        # that trades away an earlier gain) can never make the returned
+        # partition worse than the best state ever reached — in particular
+        # never worse than the input.
+        best = state.assign.copy()
+        best_obj = state.objective()
+        for _ in range(cfg.max_passes):
+            with PERF.span("kl.pass"):
+                improved = _kl_pass(state)
+            obj = state.objective()
+            if obj < best_obj - cfg.min_gain:
+                best_obj = obj
+                best[:] = state.assign
+            if improved <= cfg.min_gain:
+                break
+        if state.objective() > best_obj + cfg.min_gain:
+            return best
     return state.assign

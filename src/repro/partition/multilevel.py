@@ -26,6 +26,7 @@ from repro.graph.matching import heavy_edge_matching, random_matching
 from repro.partition.greedy import greedy_graph_growing
 from repro.partition.kl import KLConfig, kl_refine
 from repro.partition.spectral import recursive_spectral_bisection
+from repro.perf import PERF
 
 
 def build_hierarchy(
@@ -49,19 +50,20 @@ def build_hierarchy(
     cmaps = []
     cur_constraint = None if constraint is None else np.asarray(constraint)
     level = 0
-    while graphs[-1].n_vertices > coarsen_to and level < max_levels:
-        g = graphs[-1]
-        m = match_fn(g, seed=seed + level, constraint=cur_constraint)
-        coarse, cmap = contract(g, m)
-        if coarse.n_vertices >= g.n_vertices * min_shrink:
-            break  # contraction stalled (e.g. star graphs, tiny subsets)
-        graphs.append(coarse)
-        cmaps.append(cmap)
-        if cur_constraint is not None:
-            nxt = np.empty(coarse.n_vertices, dtype=cur_constraint.dtype)
-            nxt[cmap] = cur_constraint
-            cur_constraint = nxt
-        level += 1
+    with PERF.span("multilevel.coarsen"):
+        while graphs[-1].n_vertices > coarsen_to and level < max_levels:
+            g = graphs[-1]
+            m = match_fn(g, seed=seed + level, constraint=cur_constraint)
+            coarse, cmap = contract(g, m)
+            if coarse.n_vertices >= g.n_vertices * min_shrink:
+                break  # contraction stalled (e.g. star graphs, tiny subsets)
+            graphs.append(coarse)
+            cmaps.append(cmap)
+            if cur_constraint is not None:
+                nxt = np.empty(coarse.n_vertices, dtype=cur_constraint.dtype)
+                nxt[cmap] = cur_constraint
+                cur_constraint = nxt
+            level += 1
     return graphs, cmaps
 
 
@@ -103,13 +105,15 @@ def multilevel_partition(
     # with heavy vertices), then a pure cut sweep under the hard envelope.
     rebalance_cfg = KLConfig(balance_tol=balance_tol, max_passes=3, beta=0.8, window=16)
     cut_cfg = KLConfig(balance_tol=balance_tol, max_passes=kl_passes, beta=0.0)
-    levels = [coarsest] + [None] * 0  # coarsest handled first below
-    assignment = _refine_level(coarsest, assignment, p, rebalance_cfg, cut_cfg, balance_tol)
-    for level in range(len(cmaps) - 1, -1, -1):
-        assignment = project_up(assignment, cmaps[level])
+    with PERF.span("multilevel.refine"):
         assignment = _refine_level(
-            graphs[level], assignment, p, rebalance_cfg, cut_cfg, balance_tol
+            coarsest, assignment, p, rebalance_cfg, cut_cfg, balance_tol
         )
+        for level in range(len(cmaps) - 1, -1, -1):
+            assignment = project_up(assignment, cmaps[level])
+            assignment = _refine_level(
+                graphs[level], assignment, p, rebalance_cfg, cut_cfg, balance_tol
+            )
     return assignment
 
 

@@ -1,0 +1,104 @@
+"""Per-phase wall-clock accounting for the multilevel kernels.
+
+The runtime already counts *traffic* per phase
+(:class:`repro.runtime.stats.TrafficStats`); this module is the matching
+*time* side: a process-wide registry of named spans that the hot kernels
+(KL passes, matching, contraction, hierarchy build) report into, so
+``run_pared`` — and anything else — can say where its rounds spend time
+instead of guessing.  The project rule is "no optimization without
+measuring"; this is the measuring.
+
+Usage::
+
+    from repro.perf import PERF
+
+    with PERF.span("kl.pass"):
+        ...
+
+    print(PERF.report())
+
+Spans nest; times are *inclusive* (a ``multilevel.refine`` span contains
+its ``kl.pass`` children), so the report is read per-name, not summed
+across names.  Counters are thread-safe — the SimMPI ranks are threads, so
+PARED runs aggregate over all ranks.  Overhead is two ``perf_counter``
+calls plus a lock acquire per span, which is why spans wrap *phases*
+(a KL pass, a matching, a contraction level), never per-element work.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+
+__all__ = ["PerfRegistry", "PERF", "span", "snapshot", "reset", "report"]
+
+
+class PerfRegistry:
+    """Thread-safe named wall-clock accumulators (seconds + call counts)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.seconds = defaultdict(float)
+        self.calls = defaultdict(int)
+
+    def add(self, name: str, elapsed: float) -> None:
+        with self._lock:
+            self.seconds[name] += elapsed
+            self.calls[name] += 1
+
+    def span(self, name: str):
+        """Context manager timing one phase under ``name``."""
+        return _Span(self, name)
+
+    def snapshot(self) -> dict:
+        """``{name: (calls, seconds)}``, sorted by descending time."""
+        with self._lock:
+            items = [
+                (name, (self.calls[name], self.seconds[name]))
+                for name in self.seconds
+            ]
+        items.sort(key=lambda kv: -kv[1][1])
+        return dict(items)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.seconds.clear()
+            self.calls.clear()
+
+    def report(self) -> str:
+        """Human-readable table of the snapshot (empty string when idle)."""
+        snap = self.snapshot()
+        if not snap:
+            return ""
+        width = max(len(name) for name in snap)
+        lines = [f"{'phase':<{width}}  {'calls':>8}  {'seconds':>10}"]
+        for name, (calls, secs) in snap.items():
+            lines.append(f"{name:<{width}}  {calls:>8}  {secs:>10.4f}")
+        return "\n".join(lines)
+
+
+class _Span:
+    __slots__ = ("_registry", "_name", "_t0")
+
+    def __init__(self, registry: PerfRegistry, name: str) -> None:
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._registry.add(self._name, time.perf_counter() - self._t0)
+        return False
+
+
+#: the process-wide registry the library kernels report into
+PERF = PerfRegistry()
+
+# module-level conveniences mirroring the singleton
+span = PERF.span
+snapshot = PERF.snapshot
+reset = PERF.reset
+report = PERF.report

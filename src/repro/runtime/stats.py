@@ -24,6 +24,9 @@ class TrafficStats:
         #: set by spmd_run when a FaultPlan is active (a
         #: :class:`~repro.runtime.faults.FaultLog`), else None
         self.fault_log = None
+        #: set by run_pared: the repro.perf snapshot of the run —
+        #: ``{span name: (calls, seconds)}``, all ranks aggregated
+        self.kernel_perf = None
 
     def record(self, src: int, dst: int, nbytes: int, phase: str) -> None:
         with self._lock:
