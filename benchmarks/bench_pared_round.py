@@ -1,0 +1,80 @@
+"""End-to-end PARED round benchmark at the 8192-element fixture.
+
+`bench_pared_system.py` (A3) checks the *qualitative* system properties at
+a small mesh; this bench is the whole-round *performance* gate: the full
+solve-free adapt→weights→repartition→migrate loop on a 64x64 coarse mesh
+(8192 coarse triangles) with 4 ranks and 3 rounds, measured wall-clock.
+
+CI compares the median against the committed baseline
+(`benchmarks/BENCH_pared.json`) and fails on a >25% regression — the same
+discipline as the kernel bench.  After an intentional data-plane or round
+change, re-baseline with
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_pared_round.py \
+        --benchmark-json=benchmarks/BENCH_pared.json
+
+and justify the new numbers in the PR (see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import paper_scale
+from repro.core import PNR
+from repro.fem import CornerLaplace2D, interpolation_error_indicator, mark_top_fraction
+from repro.mesh import AdaptiveMesh
+from repro.pared import ParedConfig, run_pared
+
+#: 64x64 unit square -> 2*64*64 = 8192 coarse triangles
+_N = 64
+_P = 4
+_ROUNDS = 3
+
+
+def _run_round_fixture():
+    prob = CornerLaplace2D()
+
+    def marker(amesh, rnd):
+        ind = interpolation_error_indicator(amesh, prob.exact)
+        return mark_top_fraction(amesh, ind, 0.15), []
+
+    cfg = ParedConfig(
+        p=_P if not paper_scale() else 8,
+        make_mesh=lambda: AdaptiveMesh.unit_square(_N),
+        marker=marker,
+        rounds=_ROUNDS,
+        pnr=PNR(seed=4),
+        imbalance_trigger=0.05,
+    )
+    return run_pared(cfg)
+
+
+def test_pared_round_8192(benchmark):
+    histories, stats = benchmark.pedantic(
+        _run_round_fixture, rounds=3, iterations=1, warmup_rounds=1
+    )
+
+    # correctness guard: the bench must never go fast by being wrong
+    hist = histories[0]
+    assert hist[0]["leaves"] >= 2 * _N * _N
+    for other in histories[1:]:
+        for a, b in zip(hist, other):
+            assert a["leaves"] == b["leaves"] and a["cut"] == b["cut"]
+            assert np.array_equal(a["owner"], b["owner"])
+    loads = [h[-1]["local_load"] for h in histories]
+    assert sum(loads) == hist[-1]["leaves"]
+
+    # where the time went, attributable per phase (and, with the typed
+    # codec in place, per data-plane stage: codec.encode/codec.decode/
+    # simmpi.wait) — lands in the benchmark JSON for the record
+    perf = stats.kernel_perf or {}
+    benchmark.extra_info["kernel_perf"] = {
+        name: [calls, round(secs, 4)] for name, (calls, secs) in perf.items()
+    }
+    benchmark.extra_info["traffic"] = {
+        ph: list(v) for ph, v in stats.phase_report().items()
+    }
+    assert any(name.startswith("pared.") for name in perf), (
+        "round phases must be instrumented (stats.kernel_perf empty)"
+    )

@@ -40,7 +40,11 @@ def transfer_nodal(mesh, u_old: np.ndarray) -> np.ndarray:
     # midpoints are created in increasing id order; a single ordered sweep
     # fills every new vertex from (already filled) parents
     mids = sorted(
-        ((vid, a, b) for (a, b), vid in mesh._midpoint.items() if vid >= n_old),
+        (
+            (vid, key >> 32, key & 0xFFFFFFFF)
+            for key, vid in mesh._midpoint.items()
+            if vid >= n_old
+        ),
     )
     for vid, a, b in mids:
         u[vid] = 0.5 * (u[a] + u[b])

@@ -21,6 +21,19 @@ from repro.mesh.forest import RefinementForest, LEAF
 from repro.mesh.growable import GrowableMatrix
 
 
+def pair_key(a: int, b: int) -> int:
+    """Order-free integer key of a vertex pair — the dictionary key of the
+    midpoint memo and the facet-adjacency maps.  Packing two ids into one
+    int hashes ~2x faster than a tuple on the bisection hot path (vertex
+    ids fit 32 bits by construction: they index in-memory arrays)."""
+    return (a << 32) | b if a < b else (b << 32) | a
+
+
+def split_pair_key(key: int) -> tuple:
+    """Inverse of :func:`pair_key`: ``(lo, hi)``."""
+    return key >> 32, key & 0xFFFFFFFF
+
+
 class SimplexMesh:
     """Base class for the nested 2-D triangle / 3-D tetrahedral meshes."""
 
@@ -46,12 +59,23 @@ class SimplexMesh:
         self._cells.extend(cells)
         self.forest = RefinementForest()
         self.forest.add_roots(cells.shape[0])
-        #: memo: sorted vertex pair -> midpoint vertex id
+        #: memo: pair_key(a, b) -> midpoint vertex id
         self._midpoint: dict = {}
         #: memo: element id -> sorted global vertex pair of its longest edge
         self._longest: dict = {}
-        for eid in range(cells.shape[0]):
-            self._on_activate(eid)
+        self._init_caches()
+        self._bulk_activate(np.arange(cells.shape[0], dtype=np.int64))
+
+    def _init_caches(self) -> None:
+        """(Re)initialize the leaf-derived caches, keyed on the forest's
+        structure version; also called by the restart loader, which builds
+        meshes via ``__new__``."""
+        self._leaf_cells_cache = None
+        self._leaf_cells_version = -1
+        self._leaf_roots_cache = None
+        self._leaf_roots_version = -1
+        self._adj_pairs_cache = None
+        self._adj_pairs_version = -1
 
     # ------------------------------------------------------------------ #
     # storage accessors
@@ -87,20 +111,51 @@ class SimplexMesh:
         return self.forest.n_roots
 
     def cell(self, eid: int) -> tuple:
-        return tuple(int(v) for v in self._cells[eid])
+        return tuple(self._cells.data[eid].tolist())
 
     def leaf_ids(self) -> np.ndarray:
-        """Element ids of the current mesh ``M^t`` (ascending)."""
+        """Element ids of the current mesh ``M^t`` (ascending).  Cached per
+        forest version; the array is read-only (copy before mutating)."""
         return self.forest.leaves()
 
     def leaf_cells(self) -> np.ndarray:
-        """Connectivity ``(n_leaves, npc)`` of the current mesh."""
-        return self._cells.data[self.leaf_ids()]
+        """Connectivity ``(n_leaves, npc)`` of the current mesh.  Cached per
+        forest version; read-only."""
+        version = self.forest.version
+        if self._leaf_cells_version != version:
+            cells = self._cells.data[self.leaf_ids()]
+            cells.setflags(write=False)
+            self._leaf_cells_cache = cells
+            self._leaf_cells_version = version
+        return self._leaf_cells_cache
 
     def leaf_roots(self) -> np.ndarray:
         """For each leaf (in ``leaf_ids()`` order), the id of its level-0
-        ancestor — the coarse element whose tree contains it."""
-        return self.forest.root_array[self.leaf_ids()]
+        ancestor — the coarse element whose tree contains it.  Cached per
+        forest version; read-only."""
+        version = self.forest.version
+        if self._leaf_roots_version != version:
+            roots = self.forest.root_array[self.leaf_ids()]
+            roots.setflags(write=False)
+            self._leaf_roots_cache = roots
+            self._leaf_roots_version = version
+        return self._leaf_roots_cache
+
+    def leaf_adjacency_pairs(self) -> np.ndarray:
+        """``(k, 2)`` leaf-position pairs for every shared facet of the leaf
+        mesh (see :func:`repro.mesh.dualgraph._leaf_adjacency_pairs`).
+        Cached per forest version — the fine adjacency is recomputed once
+        per structural change instead of once per consumer (dual graph, cut
+        size, shared-vertex count, processor graph all read it)."""
+        version = self.forest.version
+        if self._adj_pairs_version != version:
+            from repro.mesh.dualgraph import _compute_leaf_adjacency_pairs
+
+            pairs = _compute_leaf_adjacency_pairs(self)
+            pairs.setflags(write=False)
+            self._adj_pairs_cache = pairs
+            self._adj_pairs_version = version
+        return self._adj_pairs_cache
 
     # ------------------------------------------------------------------ #
     # vertices
@@ -112,7 +167,7 @@ class SimplexMesh:
     def midpoint(self, a: int, b: int) -> int:
         """Vertex id of the midpoint of edge ``(a, b)``; created and memoized
         on first use so bisections from either side share the vertex."""
-        key = (a, b) if a < b else (b, a)
+        key = (a << 32) | b if a < b else (b << 32) | a
         vid = self._midpoint.get(key)
         if vid is None:
             p = 0.5 * (self._pts[a] + self._pts[b])
@@ -145,6 +200,13 @@ class SimplexMesh:
     def _on_deactivate(self, eid: int) -> None:
         """Called when ``eid`` stops being an active leaf."""
         raise NotImplementedError
+
+    def _bulk_activate(self, eids: np.ndarray) -> None:
+        """Activate many elements at once.  Subclasses may override with a
+        vectorized adjacency build; the result must equal calling
+        :meth:`_on_activate` per id."""
+        for eid in np.asarray(eids).tolist():
+            self._on_activate(eid)
 
     # shared refinement plumbing ---------------------------------------- #
 
@@ -213,8 +275,7 @@ class SimplexMesh:
         active_verts = set(int(v) for v in np.unique(self.leaf_cells().ravel()))
         for f, c in zip(facets[counts == 1], counts[counts == 1]):
             for a, b in self._facet_edge_pairs(tuple(int(v) for v in f)):
-                key = (a, b) if a < b else (b, a)
-                mid = self._midpoint.get(key)
+                mid = self._midpoint.get(pair_key(a, b))
                 if mid is not None and mid in active_verts:
                     raise AssertionError(
                         f"hanging node: facet {tuple(f)} whole on one side, "

@@ -21,7 +21,23 @@ from repro.graph.csr import WeightedGraph
 
 def _leaf_adjacency_pairs(mesh) -> np.ndarray:
     """``(k, 2)`` array of leaf-*position* pairs (indices into
-    ``mesh.leaf_ids()``) for every shared facet of the leaf mesh."""
+    ``mesh.leaf_ids()``) for every shared facet of the leaf mesh.
+
+    Served from the mesh's per-version cache: the dual graph, cut size,
+    shared-vertex count and processor graph all consume this, and between
+    structural changes they now share one computation."""
+    return mesh.leaf_adjacency_pairs()
+
+
+def _compute_leaf_adjacency_pairs(mesh) -> np.ndarray:
+    """The actual adjacency computation behind
+    :meth:`~repro.mesh.base.SimplexMesh.leaf_adjacency_pairs`.
+
+    Facets are folded into scalar sort keys (base ``n_verts`` positional
+    encoding of the sorted vertex tuple) when they fit an int64 — a single
+    scalar argsort instead of a multi-key lexsort; the stable sort keeps
+    the pair orientation identical to the historical lexsort path, which
+    remains as the (overflow-safe) fallback."""
     cells = mesh.leaf_cells()
     nl = cells.shape[0]
     if nl == 0:
@@ -43,10 +59,21 @@ def _leaf_adjacency_pairs(mesh) -> np.ndarray:
         )
         owner = np.tile(np.arange(nl, dtype=np.int64), 4)
     facets = np.sort(facets, axis=1)
-    order = np.lexsort(facets.T[::-1])
-    facets = facets[order]
-    owner = owner[order]
-    same = np.all(facets[1:] == facets[:-1], axis=1)
+    nv = mesh.n_verts
+    width = facets.shape[1]
+    if nv ** width < 2 ** 62:
+        keys = facets[:, 0]
+        for col in range(1, width):
+            keys = keys * nv + facets[:, col]
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        owner = owner[order]
+        same = keys[1:] == keys[:-1]
+    else:  # ids too large to pack: multi-key lexsort
+        order = np.lexsort(facets.T[::-1])
+        facets = facets[order]
+        owner = owner[order]
+        same = np.all(facets[1:] == facets[:-1], axis=1)
     left = owner[:-1][same]
     right = owner[1:][same]
     return np.column_stack([left, right])

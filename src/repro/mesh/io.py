@@ -135,9 +135,12 @@ def save_state(path, mesh) -> None:
     """
     mesh = getattr(mesh, "mesh", mesh)
     f = mesh.forest
-    mid_keys = np.array(sorted(mesh._midpoint.keys()), dtype=np.int64).reshape(-1, 2)
+    # midpoint keys are packed pair_key ints in memory; persist them as
+    # (a, b) pairs so the on-disk format is self-describing and stable
+    packed = np.array(sorted(mesh._midpoint.keys()), dtype=np.int64).reshape(-1)
+    mid_keys = np.column_stack([packed >> 32, packed & 0xFFFFFFFF]).reshape(-1, 2)
     mid_vals = np.array(
-        [mesh._midpoint[tuple(k)] for k in mid_keys], dtype=np.int64
+        [mesh._midpoint[int(k)] for k in packed], dtype=np.int64
     )
     np.savez_compressed(
         path,
@@ -192,13 +195,15 @@ def load_state(path):
     mesh.forest = forest
 
     mesh._midpoint = {
-        (int(a), int(b)): int(v)
+        (int(a) << 32) | int(b): int(v)
         for (a, b), v in zip(data["mid_keys"], data["mid_vals"])
     }
     mesh._longest = {}
     mesh._edge_elems = {}
     if dim == 3:
         mesh._face_elems = {}
+    forest._init_caches()
+    mesh._init_caches()
     for eid in forest.leaves():
         mesh._on_activate(int(eid))
     return mesh

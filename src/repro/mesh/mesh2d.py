@@ -1,10 +1,11 @@
 """Nested 2-D triangular mesh with incremental edge adjacency.
 
 The active leaf set is mirrored in ``_edge_elems``: a dictionary mapping each
-sorted vertex pair (edge) of the leaf mesh to the set of active leaf
-triangles containing it.  A conformal triangulation has at most two triangles
-per edge; the refinement kernel (:mod:`repro.mesh.rivara2d`) relies on this
-map for neighbor lookups during longest-edge propagation.
+edge of the leaf mesh (as a packed :func:`~repro.mesh.base.pair_key`) to the
+set of active leaf triangles containing it.  A conformal triangulation has at
+most two triangles per edge; the refinement kernel
+(:mod:`repro.mesh.rivara2d`) relies on this map for neighbor lookups during
+longest-edge propagation.
 """
 
 from __future__ import annotations
@@ -23,7 +24,7 @@ class TriMesh(SimplexMesh):
     nodes_per_cell = 3
 
     def __init__(self, verts, cells):
-        #: edge (sorted pair) -> set of active leaf triangle ids
+        #: pair_key(edge) -> set of active leaf triangle ids
         self._edge_elems: dict = {}
         super().__init__(verts, cells)
         # Reject tangled input early: zero-area triangles break bisection.
@@ -34,13 +35,13 @@ class TriMesh(SimplexMesh):
     # -- facet adjacency -------------------------------------------------- #
 
     @staticmethod
-    def _edges_of(cell) -> list:
+    def _edges_of(cell) -> tuple:
         v0, v1, v2 = cell
-        return [
-            (v1, v2) if v1 < v2 else (v2, v1),
-            (v2, v0) if v2 < v0 else (v0, v2),
-            (v0, v1) if v0 < v1 else (v1, v0),
-        ]
+        return (
+            (v1 << 32 | v2) if v1 < v2 else (v2 << 32 | v1),
+            (v2 << 32 | v0) if v2 < v0 else (v0 << 32 | v2),
+            (v0 << 32 | v1) if v0 < v1 else (v1 << 32 | v0),
+        )
 
     def _on_activate(self, eid: int) -> None:
         for key in self._edges_of(self.cell(eid)):
@@ -57,15 +58,48 @@ class TriMesh(SimplexMesh):
             if not s:
                 del self._edge_elems[key]
 
+    def _bulk_activate(self, eids: np.ndarray) -> None:
+        # Vectorized edge-map build: pack all 3·k edge keys in numpy, group
+        # equal keys by one sort, then fill the dict per *edge* instead of
+        # per (element, edge) incidence.
+        eids = np.asarray(eids, dtype=np.int64)
+        if eids.size < 64:
+            for eid in eids.tolist():
+                self._on_activate(eid)
+            return
+        cells = self._cells.data[eids]
+        edges = np.concatenate(
+            [cells[:, [1, 2]], cells[:, [2, 0]], cells[:, [0, 1]]], axis=0
+        )
+        keys = (edges.min(axis=1) << 32) | edges.max(axis=1)
+        tris = np.concatenate([eids, eids, eids])
+        order = np.argsort(keys, kind="stable")
+        ks = keys[order].tolist()
+        ts = tris[order].tolist()
+        ee = self._edge_elems
+        i = 0
+        m = len(ks)
+        while i < m:
+            k = ks[i]
+            j = i + 1
+            while j < m and ks[j] == k:
+                j += 1
+            s = ee.get(k)
+            if s is None:
+                ee[k] = set(ts[i:j])
+            else:
+                s.update(ts[i:j])
+            i = j
+
     def edge_elements(self, a: int, b: int) -> frozenset:
         """Active leaf triangles containing edge ``(a, b)`` (possibly empty)."""
-        key = (a, b) if a < b else (b, a)
+        key = (a << 32 | b) if a < b else (b << 32 | a)
         return frozenset(self._edge_elems.get(key, ()))
 
     def neighbor_across(self, eid: int, a: int, b: int):
         """The other active leaf across edge ``(a, b)``, or ``None`` if the
         edge is on the boundary."""
-        key = (a, b) if a < b else (b, a)
+        key = (a << 32 | b) if a < b else (b << 32 | a)
         s = self._edge_elems.get(key)
         if s is None:
             return None

@@ -2,9 +2,9 @@
 
 Two dictionaries mirror the active leaf set:
 
-* ``_edge_elems``: sorted vertex pair -> set of active tets containing the
-  edge.  The 3-D Rivara kernel bisects the entire *edge star* at once, so it
-  needs fast edge-to-elements lookup.
+* ``_edge_elems``: packed :func:`~repro.mesh.base.pair_key` -> set of active
+  tets containing the edge.  The 3-D Rivara kernel bisects the entire *edge
+  star* at once, so it needs fast edge-to-elements lookup.
 * ``_face_elems``: sorted vertex triple -> set of active tets containing the
   face (at most two in a conformal mesh); used for the dual graph and for
   boundary detection.
@@ -17,7 +17,7 @@ from itertools import combinations
 import numpy as np
 
 from repro.geometry.primitives import tet_volumes
-from repro.mesh.base import SimplexMesh
+from repro.mesh.base import SimplexMesh, pair_key
 
 
 class TetMesh(SimplexMesh):
@@ -38,7 +38,7 @@ class TetMesh(SimplexMesh):
 
     @staticmethod
     def _edges_of(cell) -> list:
-        return [tuple(sorted(p)) for p in combinations(cell, 2)]
+        return [pair_key(p, q) for p, q in combinations(cell, 2)]
 
     @staticmethod
     def _faces_of(cell) -> list:
@@ -75,8 +75,7 @@ class TetMesh(SimplexMesh):
     def edge_star(self, a: int, b: int) -> frozenset:
         """Active tets containing edge ``(a, b)`` — the simultaneous-bisection
         unit of 3-D Rivara refinement."""
-        key = (a, b) if a < b else (b, a)
-        return frozenset(self._edge_elems.get(key, ()))
+        return frozenset(self._edge_elems.get(pair_key(a, b), ()))
 
     def face_elements(self, face) -> frozenset:
         """Active tets containing the (sorted) face."""

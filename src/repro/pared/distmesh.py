@@ -38,6 +38,14 @@ class DistributedMesh:
             raise ValueError("owner rank out of range")
         self.comm = comm
         self.amesh = amesh
+        # leaf_owners/owned_leaf_ids cache, keyed on (forest structure
+        # version, ownership revision); `owner` is a property so any
+        # assignment bumps the revision
+        self._owner_rev = -1
+        self._lo_cache = None
+        self._lo_key = None
+        self._owned_cache = None
+        self._owned_key = None
         self.owner = owner.copy()
         # ranks participating in collectives/exchanges; after a crash the
         # recovery protocol rebuilds the mesh view over the survivors only
@@ -58,14 +66,40 @@ class DistributedMesh:
     def rank(self) -> int:
         return self.comm.rank
 
+    @property
+    def owner(self) -> np.ndarray:
+        return self._owner
+
+    @owner.setter
+    def owner(self, value) -> None:
+        self._owner = np.asarray(value, dtype=np.int64)
+        self._owner_rev += 1
+
+    def _cache_key(self) -> tuple:
+        return (self.amesh.mesh.forest.version, self._owner_rev)
+
     def leaf_owners(self) -> np.ndarray:
         """Owning rank of every leaf (via its root), aligned with
-        ``leaf_ids()``."""
-        return self.owner[self.amesh.leaf_roots()]
+        ``leaf_ids()``.  Cached until the forest or the ownership map
+        changes; the returned array is read-only."""
+        key = self._cache_key()
+        if self._lo_key != key:
+            lo = self.owner[self.amesh.leaf_roots()]
+            lo.setflags(write=False)
+            self._lo_cache = lo
+            self._lo_key = key
+        return self._lo_cache
 
     def owned_leaf_ids(self) -> np.ndarray:
-        leaf_ids = self.amesh.leaf_ids()
-        return leaf_ids[self.leaf_owners() == self.rank]
+        """Sorted ids of the leaves this rank owns (cached, read-only)."""
+        key = self._cache_key()
+        if self._owned_key != key:
+            leaf_ids = self.amesh.leaf_ids()
+            owned = leaf_ids[self.leaf_owners() == self.rank]
+            owned.setflags(write=False)
+            self._owned_cache = owned
+            self._owned_key = key
+        return self._owned_cache
 
     def owned_roots(self) -> np.ndarray:
         return np.nonzero(self.owner == self.rank)[0]
@@ -130,17 +164,21 @@ class DistributedMesh:
         marked_owned = [int(e) for e in marked_owned]
         requests = self._lepp_remote_targets(marked_owned)
         # deterministic request exchange: every live rank sends to every
-        # other live rank
+        # other live rank; requests travel as typed int64 arrays
         for dst in self.live:
             if dst != comm.rank:
-                comm.send(requests.get(dst, []), dst, tag=10)
-        received: list = []
+                comm.send(
+                    np.asarray(requests.get(dst, []), dtype=np.int64), dst, tag=10
+                )
+        received = [np.asarray(marked_owned, dtype=np.int64)]
         for src in self.live:
             if src != comm.rank:
-                received.extend(comm.recv(src, tag=10))
-        local_targets = sorted(set(marked_owned) | set(received))
+                received.append(comm.recv(src, tag=10))
+        local_targets = np.unique(np.concatenate(received))
         all_targets = comm.allgather(local_targets, tag=11, ranks=self.group)
-        union = sorted(set().union(*all_targets)) if all_targets else []
+        union = (
+            np.unique(np.concatenate(all_targets)).tolist() if all_targets else []
+        )
         return self.amesh.refine(union)
 
     def parallel_coarsen(self, marked_owned) -> list:
@@ -148,9 +186,11 @@ class DistributedMesh:
         boundaries are completed by the allgather union (both owners must
         have marked their children, exactly as in the serial rule)."""
         comm = self.comm
-        local = sorted(int(e) for e in marked_owned)
+        local = np.unique(np.asarray(sorted(int(e) for e in marked_owned), dtype=np.int64))
         all_marked = comm.allgather(local, tag=12, ranks=self.group)
-        union = sorted(set().union(*all_marked)) if all_marked else []
+        union = (
+            np.unique(np.concatenate(all_marked)).tolist() if all_marked else []
+        )
         merged = serial_coarsen(self.amesh.mesh, union)
         self.amesh.time_step += 1
         return merged
@@ -159,31 +199,23 @@ class DistributedMesh:
     # P1/P2: weight computation and reporting
     # ------------------------------------------------------------------ #
 
-    def local_weight_update(self, prev_vwts=None) -> dict:
-        """Vertex and edge weights of ``G`` for this rank's owned roots
-        (phase P1).  Only entries that changed since ``prev_vwts`` (a dict
-        snapshot) are included — what actually travels in P2.
+    def local_weight_update(self, prev=None) -> dict:
+        """Packed vertex/edge weight report of ``G`` for this rank's owned
+        roots (phase P1): flat sorted arrays, see
+        :mod:`repro.pared.weights`.  With a previous full report ``prev``,
+        only changed entries (plus tombstones) are included — what actually
+        travels in P2.
 
         Edge ``(a, b)`` (with ``a < b``) is reported by the owner of ``a``.
         """
         from repro.mesh.dualgraph import coarse_dual_graph
+        from repro.pared.weights import diff_weight_report, full_weight_report
 
         graph = coarse_dual_graph(self.amesh.mesh)
-        mine = self.owner == self.rank
-        vw = {}
-        for a in np.nonzero(mine)[0]:
-            vw[int(a)] = float(graph.vwts[a])
-        ew = {}
-        for a in np.nonzero(mine)[0]:
-            lo, hi = graph.xadj[a], graph.xadj[a + 1]
-            for idx in range(lo, hi):
-                b = int(graph.adjncy[idx])
-                if a < b:
-                    ew[(int(a), b)] = float(graph.ewts[idx])
-        if prev_vwts is not None:
-            vw = {a: w for a, w in vw.items() if prev_vwts.get("v", {}).get(a) != w}
-            ew = {e: w for e, w in ew.items() if prev_vwts.get("e", {}).get(e) != w}
-        return {"v": vw, "e": ew}
+        full = full_weight_report(graph, self.owner, self.rank)
+        if prev is not None:
+            return diff_weight_report(full, prev)
+        return full
 
     def send_weights_to_coordinator(self, update: dict, coordinator: int = 0):
         """Phase P2: ship the weight deltas to ``P_C``.

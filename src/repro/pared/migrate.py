@@ -2,17 +2,16 @@
 
 The coordinator computes a new assignment of coarse roots to ranks and
 turns the difference into *directives*: ``(root, src, dst)`` triples.  Each
-source rank packages the refinement tree of every directed root — all
-descendants migrate with it — and ships one aggregated message per
-destination (MPI-style message coalescing).  Receivers acknowledge by
-adopting ownership; since the mesh structure is replicated, the payload
-stands in for the element/vertex records PARED would transfer, and its
-pickled size is what the traffic statistics count.
+source rank packages the refinement trees of every directed root — all
+descendants migrate with them — into **one struct-of-arrays frame per
+destination** (MPI-style message coalescing; the typed codec ships the
+arrays as raw buffers).  Receivers acknowledge by adopting ownership; since
+the mesh structure is replicated, the payload stands in for the
+element/vertex records PARED would transfer, and its encoded size is what
+the traffic statistics count.
 """
 
 from __future__ import annotations
-
-from collections import defaultdict
 
 import numpy as np
 
@@ -20,16 +19,23 @@ from repro.runtime.faults import recv_with_retry
 
 
 def migration_directives(old_owner: np.ndarray, new_owner: np.ndarray) -> list:
-    """``(root, src, dst)`` for every root whose owner changes."""
+    """``(root, src, dst)`` for every root whose owner changes.
+
+    Computed vectorized; the public return type stays a list of plain-int
+    tuples."""
     old_owner = np.asarray(old_owner)
     new_owner = np.asarray(new_owner)
     moved = np.nonzero(old_owner != new_owner)[0]
-    return [(int(r), int(old_owner[r]), int(new_owner[r])) for r in moved]
+    return list(
+        zip(moved.tolist(), old_owner[moved].tolist(), new_owner[moved].tolist())
+    )
 
 
 def _tree_payload(mesh, root: int) -> dict:
-    """The data that migrates with a tree: every node of the subtree with
-    its connectivity, plus the leaf list (what the solver works on)."""
+    """Per-root reference payload (stack walk): every node of the subtree
+    with its connectivity, plus the leaf list.  The wire uses
+    :func:`pack_tree_payloads`; this stays as the readable specification the
+    regression tests compare against."""
     forest = mesh.forest
     nodes = []
     stack = [root]
@@ -44,6 +50,71 @@ def _tree_payload(mesh, root: int) -> dict:
         "nodes": nodes,
         "leaves": forest.subtree_leaves(root),
     }
+
+
+def pack_tree_payloads(mesh, roots) -> dict:
+    """All migrating trees of one ``(src, dst)`` channel as one packed
+    frame of flat arrays.
+
+    A tree's node set is exactly the elements whose ``root_array`` entry is
+    the tree's root (nodes are only ever created by splitting an element of
+    the same tree), so batch extraction is a single :func:`numpy.isin` over
+    the forest — no per-root walks.  Nodes are grouped by root;
+    ``node_offsets[i]:node_offsets[i+1]`` delimits tree ``roots[i]`` (and
+    ``leaf_offsets`` likewise for the active leaves).
+    """
+    forest = mesh.forest
+    from repro.mesh.forest import LEAF
+
+    roots = np.unique(np.asarray(list(roots), dtype=np.int64))
+    root_of = forest.root_array
+    nodes = np.nonzero(np.isin(root_of, roots))[0].astype(np.int64)
+    tree = root_of[nodes]
+    order = np.argsort(tree, kind="stable")
+    nodes = nodes[order]
+    tree = tree[order]
+    node_offsets = np.empty(roots.size + 1, dtype=np.int64)
+    node_offsets[:-1] = np.searchsorted(tree, roots)
+    node_offsets[-1] = nodes.size
+    status = forest.status_array[nodes].astype(np.uint8, copy=True)
+    leaf_mask = status == LEAF
+    leaf_offsets = np.empty(roots.size + 1, dtype=np.int64)
+    leaf_offsets[:-1] = np.searchsorted(tree[leaf_mask], roots)
+    leaf_offsets[-1] = int(leaf_mask.sum())
+    return {
+        "roots": roots,
+        "node_offsets": node_offsets,
+        "nodes": nodes,
+        "cells": mesh.cells[nodes],
+        "status": status,
+        "parent": forest.parent_array[nodes],
+        "depth": forest.depth_array[nodes],
+        "leaves": nodes[leaf_mask],
+        "leaf_offsets": leaf_offsets,
+    }
+
+
+def unpack_tree_payloads(payload: dict) -> list:
+    """Splice a packed frame back into per-root payloads (the shape
+    :func:`_tree_payload` produces, with nodes in ascending id order)."""
+    out = []
+    nodes = payload["nodes"]
+    cells = payload["cells"]
+    leaves = payload["leaves"]
+    no = payload["node_offsets"]
+    lo = payload["leaf_offsets"]
+    for i, root in enumerate(payload["roots"]):
+        sl = slice(no[i], no[i + 1])
+        out.append(
+            {
+                "root": int(root),
+                "nodes": [
+                    (int(e), tuple(c)) for e, c in zip(nodes[sl], cells[sl].tolist())
+                ],
+                "leaves": leaves[lo[i] : lo[i + 1]].tolist(),
+            }
+        )
+    return out
 
 
 def execute_migration(
@@ -79,43 +150,54 @@ def execute_migration(
         else None
     )
     new_owner, extra = comm.bcast(payload0, root=coordinator, tag=30, ranks=group)
-    directives = migration_directives(dmesh.owner, new_owner)
+    old_owner = np.asarray(dmesh.owner)
+    new_owner = np.asarray(new_owner)
+    moved = np.nonzero(old_owner != new_owner)[0]
     mesh = dmesh.amesh.mesh
+
+    # group directives per (src, dst) channel — one packed frame each
+    src = old_owner[moved]
+    dst = new_owner[moved]
+    chan_key = src * comm.size + dst
+    order = np.argsort(chan_key, kind="stable")
+    key_sorted = chan_key[order]
+    roots_sorted = moved[order]
+    uniq, starts = np.unique(key_sorted, return_index=True)
+    bounds = np.append(starts, key_sorted.size)
+    channels = {
+        (int(k) // comm.size, int(k) % comm.size): roots_sorted[a:b]
+        for k, a, b in zip(uniq, starts, bounds[1:])
+    }
+
     live_set = set(live)
-
-    by_src_dst = defaultdict(list)
-    for root, src, dst in directives:
-        by_src_dst[(src, dst)].append(root)
-
-    send_dsts = sorted(
-        d for (s, d) in by_src_dst if s == comm.rank and d in live_set
-    )
-    recv_srcs = sorted(
-        s for (s, d) in by_src_dst if d == comm.rank and s in live_set
-    )
+    send_dsts = sorted(d for (s, d) in channels if s == comm.rank and d in live_set)
+    recv_srcs = sorted(s for (s, d) in channels if d == comm.rank and s in live_set)
 
     sent = received = reconstructed = 0
-    for dst in send_dsts:
-        payload = [_tree_payload(mesh, r) for r in by_src_dst[(comm.rank, dst)]]
-        comm.send(payload, dst, tag=31)
-        sent += len(payload)
-    for src in recv_srcs:
+    for d in send_dsts:
+        payload = pack_tree_payloads(mesh, channels[(comm.rank, d)])
+        comm.send(payload, d, tag=31)
+        sent += int(payload["roots"].shape[0])
+    for s in recv_srcs:
         # tree payloads ride the retry/backoff discipline: a delayed
         # delivery under fault injection is retried, not fatal
-        payload = recv_with_retry(comm, src, tag=31)
-        received += len(payload)
-    for root, src, dst in directives:
-        if src not in live_set and dst == comm.rank:
-            # the owner died with the trees it owed; the replica stands in
-            _tree_payload(mesh, root)
-            reconstructed += 1
+        payload = recv_with_retry(comm, s, tag=31)
+        received += int(payload["roots"].shape[0])
+    recon_roots = moved[
+        ~np.isin(src, np.fromiter(live_set, dtype=np.int64, count=len(live_set)))
+        & (dst == comm.rank)
+    ]
+    if recon_roots.size:
+        # the owner died with the trees it owed; the replica stands in
+        pack_tree_payloads(mesh, recon_roots)
+        reconstructed = int(recon_roots.size)
 
     dmesh.owner = new_owner.copy()
 
     leaf_counts = mesh.forest.leaf_counts_by_root()
-    moved_elements = int(sum(leaf_counts[r] for r, _, _ in directives))
+    moved_elements = int(leaf_counts[moved].sum())
     return {
-        "trees_moved": len(directives),
+        "trees_moved": int(moved.size),
         "elements_moved": moved_elements,
         "sent_here": sent,
         "received_here": received,

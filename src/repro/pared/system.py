@@ -43,6 +43,12 @@ from repro.mesh.dualgraph import coarse_dual_graph, leaf_assignment_from_roots
 from repro.mesh.metrics import cut_size, shared_vertex_count
 from repro.pared.distmesh import DistributedMesh
 from repro.pared.migrate import execute_migration, plan_recovery_assignment
+from repro.pared.weights import (
+    diff_weight_report,
+    keep_last,
+    merge_fresh_values,
+    split_edge_keys,
+)
 from repro.partition.multilevel import multilevel_partition
 from repro.perf import PERF
 from repro.runtime.faults import FaultPlan
@@ -128,84 +134,64 @@ class ParedConfig:
 
 
 class _CoordinatorGraph:
-    """P_C's view of ``G``, built purely from P2 weight messages."""
+    """P_C's view of ``G``, built purely from packed P2 weight messages.
+
+    State is struct-of-arrays: a dense vertex-weight vector plus sorted
+    packed edge keys (:func:`~repro.pared.weights.edge_keys`) with aligned
+    weights — merges and deletions are sorted-int64 array ops, no per-entry
+    Python loops.
+    """
 
     def __init__(self, n_roots: int):
         self.n = n_roots
         self.vwts = np.zeros(n_roots)
-        self.edges = {}
+        self.ekeys = np.empty(0, dtype=np.int64)
+        self.ewts = np.empty(0, dtype=np.float64)
 
     def merge(self, messages) -> None:
-        """Apply one round's deltas.  A ``None`` weight is a *tombstone*:
-        the reporter's owned set no longer contains that key (the root was
-        handed to another rank, or coarsening collapsed it away).  Values
-        are applied first and a tombstone only wins when no message of the
-        same batch re-reported the key, so an ownership handoff — old owner
-        sending the tombstone, new owner the fresh value — merges to the
-        same state in any arrival order.
+        """Apply one round's deltas.  A key in a ``v_dead``/``e_dead``
+        array is a *tombstone*: the reporter's owned set no longer contains
+        it (the root was handed to another rank, or coarsening collapsed it
+        away).  Values are applied first and a tombstone only wins when no
+        message of the same batch re-reported the key, so an ownership
+        handoff — old owner sending the tombstone, new owner the fresh
+        value — merges to the same state in any arrival order.
         """
-        fresh_v: set = set()
-        fresh_e: set = set()
-        dead_v: set = set()
-        dead_e: set = set()
-        for msg in messages:
-            for a, w in msg["v"].items():
-                if w is None:
-                    dead_v.add(a)
-                else:
-                    self.vwts[a] = w
-                    fresh_v.add(a)
-            for e, w in msg["e"].items():
-                if w is None:
-                    dead_e.add(e)
-                else:
-                    self.edges[e] = w
-                    fresh_e.add(e)
-        for a in dead_v - fresh_v:
-            self.vwts[a] = 0.0
-        for e in dead_e - fresh_e:
-            self.edges.pop(e, None)
+        fv_ids = np.concatenate([m["v_ids"] for m in messages])
+        fv_wts = np.concatenate([m["v_wts"] for m in messages])
+        fe_keys = np.concatenate([m["e_keys"] for m in messages])
+        fe_wts = np.concatenate([m["e_wts"] for m in messages])
+        dv = np.concatenate([m["v_dead"] for m in messages])
+        de = np.concatenate([m["e_dead"] for m in messages])
+        uids, uw = keep_last(fv_ids, fv_wts)
+        self.vwts[uids] = uw
+        self.vwts[np.setdiff1d(dv, fv_ids)] = 0.0
+        self.ekeys, self.ewts = merge_fresh_values(
+            self.ekeys, self.ewts, fe_keys, fe_wts
+        )
+        dead_e = np.setdiff1d(de, fe_keys)
+        if dead_e.size:
+            keep = np.isin(self.ekeys, dead_e, invert=True)
+            self.ekeys = self.ekeys[keep]
+            self.ewts = self.ewts[keep]
 
     def snapshot(self):
         """Checkpointable copy of the graph state."""
-        return self.vwts.copy(), dict(self.edges)
+        return self.vwts.copy(), (self.ekeys.copy(), self.ewts.copy())
 
     @classmethod
     def from_snapshot(cls, n_roots: int, vwts, edges) -> "_CoordinatorGraph":
         g = cls(n_roots)
         g.vwts = np.asarray(vwts, dtype=float).copy()
-        g.edges = dict(edges)
+        ekeys, ewts = edges
+        g.ekeys = np.asarray(ekeys, dtype=np.int64).copy()
+        g.ewts = np.asarray(ewts, dtype=np.float64).copy()
         return g
 
     def graph(self) -> WeightedGraph:
-        if self.edges:
-            edges = np.array(list(self.edges.keys()), dtype=np.int64)
-            ewts = np.array(list(self.edges.values()))
-        else:
-            edges = np.empty((0, 2), dtype=np.int64)
-            ewts = np.empty(0)
-        return WeightedGraph.from_edges(self.n, edges, ewts, self.vwts.copy())
-
-
-def _diff_update(full: dict, prev: Optional[dict]) -> dict:
-    """Delta of this round's weight report against the previous baseline.
-
-    Changed entries carry their new weight; entries present in ``prev`` but
-    gone from ``full`` (the rank stopped owning the root, or the key left
-    the graph) are *tombstoned* with ``None`` so the coordinator deletes
-    its stale copy instead of keeping it forever.
-    """
-    if prev is None:
-        return full
-    v = {a: w for a, w in full["v"].items() if prev["v"].get(a) != w}
-    e = {k: w for k, w in full["e"].items() if prev["e"].get(k) != w}
-    for a in prev["v"]:
-        if a not in full["v"]:
-            v[a] = None
-    for k in prev["e"]:
-        if k not in full["e"]:
-            e[k] = None
-    return {"v": v, "e": e}
+        a, b = split_edge_keys(self.ekeys, self.n)
+        edges = np.column_stack([a, b])
+        return WeightedGraph.from_edges(self.n, edges, self.ewts.copy(), self.vwts.copy())
 
 
 @dataclass
@@ -260,11 +246,13 @@ def _pared_round(comm, cfg: ParedConfig, st: _RankState, rnd: int) -> None:
     tick = perf_counter()
     comm.set_phase("P0")
     refine_ids, coarsen_ids = cfg.marker(amesh, rnd)
-    owned = set(int(e) for e in dmesh.owned_leaf_ids())
-    my_refine = [e for e in refine_ids if int(e) in owned]
+    my_refine = np.intersect1d(
+        np.asarray(refine_ids, dtype=np.int64), dmesh.owned_leaf_ids()
+    )
     dmesh.parallel_refine(my_refine)
-    owned = set(int(e) for e in dmesh.owned_leaf_ids())
-    my_coarsen = [e for e in coarsen_ids if int(e) in owned]
+    my_coarsen = np.intersect1d(
+        np.asarray(coarsen_ids, dtype=np.int64), dmesh.owned_leaf_ids()
+    )
     dmesh.parallel_coarsen(my_coarsen)
 
     leaves_before = amesh.leaf_ids().copy()
@@ -274,7 +262,7 @@ def _pared_round(comm, cfg: ParedConfig, st: _RankState, rnd: int) -> None:
     tick = perf_counter()
     comm.set_phase("P1")
     full = dmesh.local_weight_update(None)
-    delta = _diff_update(full, st.prev_full)
+    delta = diff_weight_report(full, st.prev_full)
     st.prev_full = full
 
     # ---- P2: ship to coordinator ---------------------------------- #

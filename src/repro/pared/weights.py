@@ -1,0 +1,145 @@
+"""Packed (struct-of-arrays) weight reports for PARED phases P1/P2.
+
+A weight report is a dict of flat numpy arrays — the wire format the typed
+codec (:mod:`repro.runtime.codec`) ships as raw buffers, one frame per
+message:
+
+``v_ids`` / ``v_wts``
+    Sorted coarse-root ids with their fresh vertex weights.
+``e_keys`` / ``e_wts``
+    Sorted packed edge keys with their fresh edge weights.  Edge ``(a, b)``
+    with ``a < b`` packs to ``a * n_roots + b`` (:func:`edge_keys`), so a
+    report is self-contained given ``n_roots`` and every array op —
+    diff, dedup, merge — is a sorted-int64 primitive.
+``v_dead`` / ``e_dead``
+    Tombstones: keys present in the previous report but absent from the
+    current one (ownership handoff or coarsening).  A tombstone carries no
+    weight; the coordinator zeroes/deletes the entry unless another message
+    of the same batch re-reports it (see
+    :meth:`~repro.pared.system._CoordinatorGraph.merge`).
+
+All arrays in a report are sorted ascending and duplicate-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EMPTY_I = np.empty(0, dtype=np.int64)
+_EMPTY_F = np.empty(0, dtype=np.float64)
+
+
+def edge_keys(a, b, n_roots: int) -> np.ndarray:
+    """Pack edge endpoint arrays (``a < b`` elementwise) into scalar keys."""
+    return np.asarray(a, dtype=np.int64) * np.int64(n_roots) + np.asarray(
+        b, dtype=np.int64
+    )
+
+
+def split_edge_keys(keys, n_roots: int):
+    """Inverse of :func:`edge_keys`: ``(a, b)`` endpoint arrays."""
+    keys = np.asarray(keys, dtype=np.int64)
+    return keys // n_roots, keys % n_roots
+
+
+def empty_report() -> dict:
+    return {
+        "v_ids": _EMPTY_I,
+        "v_wts": _EMPTY_F,
+        "e_keys": _EMPTY_I,
+        "e_wts": _EMPTY_F,
+        "v_dead": _EMPTY_I,
+        "e_dead": _EMPTY_I,
+    }
+
+
+def full_weight_report(graph, owner: np.ndarray, rank: int) -> dict:
+    """This rank's complete P1 weight report from the coarse dual graph.
+
+    Vertex weights of owned roots; edge ``(a, b)`` (``a < b``) reported by
+    the owner of ``a`` — exactly the ownership rule of the dict-based
+    protocol, built with one CSR sweep instead of per-root loops.
+    """
+    owner = np.asarray(owner, dtype=np.int64)
+    n = owner.shape[0]
+    v_ids = np.nonzero(owner == rank)[0].astype(np.int64)
+    v_wts = graph.vwts[v_ids].astype(np.float64, copy=True)
+    counts = np.diff(graph.xadj)
+    src = np.repeat(np.arange(n, dtype=np.int64), counts)
+    dst = graph.adjncy
+    mask = (owner[src] == rank) & (src < dst)
+    keys = edge_keys(src[mask], dst[mask], n)
+    wts = graph.ewts[mask].astype(np.float64, copy=True)
+    order = np.argsort(keys)  # CSR row-major order is already sorted, but
+    keys = keys[order]  # don't rely on it: reports promise sorted keys
+    wts = wts[order]
+    return {
+        "v_ids": v_ids,
+        "v_wts": v_wts,
+        "e_keys": keys,
+        "e_wts": wts,
+        "v_dead": _EMPTY_I,
+        "e_dead": _EMPTY_I,
+    }
+
+
+def _changed(ids, wts, prev_ids, prev_wts):
+    """Entries of (ids, wts) that are new or differ from the previous
+    report.  Both id arrays sorted ascending."""
+    if prev_ids.size == 0:
+        return ids, wts
+    pos = np.minimum(np.searchsorted(prev_ids, ids), prev_ids.size - 1)
+    same = (prev_ids[pos] == ids) & (prev_wts[pos] == wts)
+    return ids[~same], wts[~same]
+
+
+def _gone(prev_ids, ids):
+    """Previous keys absent from the current report (→ tombstones)."""
+    if prev_ids.size == 0:
+        return _EMPTY_I
+    return prev_ids[np.isin(prev_ids, ids, invert=True)]
+
+
+def diff_weight_report(full: dict, prev) -> dict:
+    """Delta of ``full`` against the previous full report ``prev``.
+
+    Changed/new entries carry their weights; keys present in ``prev`` but
+    gone from ``full`` land in the dead arrays.  ``prev=None`` means no
+    baseline: the full report travels verbatim.
+    """
+    if prev is None:
+        return full
+    v_ids, v_wts = _changed(full["v_ids"], full["v_wts"], prev["v_ids"], prev["v_wts"])
+    e_keys, e_wts = _changed(
+        full["e_keys"], full["e_wts"], prev["e_keys"], prev["e_wts"]
+    )
+    return {
+        "v_ids": v_ids,
+        "v_wts": v_wts,
+        "e_keys": e_keys,
+        "e_wts": e_wts,
+        "v_dead": _gone(prev["v_ids"], full["v_ids"]),
+        "e_dead": _gone(prev["e_keys"], full["e_keys"]),
+    }
+
+
+def keep_last(keys: np.ndarray, vals: np.ndarray):
+    """Deduplicate (keys, vals) keeping the *last* occurrence of each key —
+    the array analogue of dict insertion order (later messages win).
+    Returns sorted unique keys with their surviving values."""
+    if keys.size == 0:
+        return keys, vals
+    rev_keys = keys[::-1]
+    uniq, first = np.unique(rev_keys, return_index=True)
+    return uniq, vals[::-1][first]
+
+
+def merge_fresh_values(keys, vals, fresh_keys, fresh_vals):
+    """Overlay fresh (key, value) pairs onto a sorted key/value store:
+    existing keys are overwritten, new keys inserted, order kept sorted."""
+    fresh_keys, fresh_vals = keep_last(fresh_keys, fresh_vals)
+    if fresh_keys.size == 0:
+        return keys, vals
+    cat_keys = np.concatenate([keys, fresh_keys])
+    cat_vals = np.concatenate([vals, fresh_vals])
+    return keep_last(cat_keys, cat_vals)

@@ -109,19 +109,21 @@ def _workflow_rank(comm, cfg: WorkflowConfig):
         # ---- repartition + migrate ------------------------------------ #
         comm.set_phase("P3")
         if comm.rank == C:
-            vw = {}
-            ew = {}
-            for msg in msgs:
-                vw.update(msg["v"])
-                ew.update(msg["e"])
             from repro.graph.csr import WeightedGraph
+            from repro.pared.weights import split_edge_keys
 
-            edges = np.array(list(ew.keys()), dtype=np.int64).reshape(-1, 2)
-            ewts = np.array(list(ew.values()))
+            # full packed reports from disjoint owners: assembling G is a
+            # scatter of the concatenated arrays, no per-entry merging
+            v_ids = np.concatenate([m["v_ids"] for m in msgs])
+            v_wts = np.concatenate([m["v_wts"] for m in msgs])
+            e_keys = np.concatenate([m["e_keys"] for m in msgs])
+            e_wts = np.concatenate([m["e_wts"] for m in msgs])
             vwts = np.zeros(amesh.n_roots)
-            for a, w in vw.items():
-                vwts[a] = w
-            graph = WeightedGraph.from_edges(amesh.n_roots, edges, ewts, vwts)
+            vwts[v_ids] = v_wts
+            a, b = split_edge_keys(e_keys, amesh.n_roots)
+            graph = WeightedGraph.from_edges(
+                amesh.n_roots, np.column_stack([a, b]), e_wts, vwts
+            )
             loads = np.bincount(dmesh.owner, weights=graph.vwts, minlength=comm.size)
             mean = loads.sum() / comm.size
             imb = float(loads.max() / mean - 1.0) if mean else 0.0

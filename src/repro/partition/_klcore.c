@@ -1,0 +1,382 @@
+/* Compiled hot loop of one KL pass (see kl.py:_kl_pass_py for the
+ * reference implementation — the two must stay decision-for-decision
+ * identical).
+ *
+ * Determinism contract
+ * --------------------
+ * The Python engine orders its heap by the tuple (-gain, counter): the
+ * counter is unique, so the ordering is *total* and the pop sequence is
+ * independent of the heap's internal layout.  This kernel assigns counters
+ * in the same program order and compares (key, counter) the same way, so
+ * any correct binary heap — including this one — pops in exactly the order
+ * heapq does.  All gain arithmetic is IEEE double in the same operation
+ * order as the Python expressions (no -ffast-math; see _klnative.py), so
+ * keys are bit-identical and the chosen moves match the pure path exactly.
+ *
+ * The caller passes working copies of the assignment / subset weights /
+ * connectivity and the pre-built initial candidate list (the vectorized
+ * prelude stays in numpy).  Returns the kept cumulative gain, or NaN if an
+ * allocation failed (the caller then falls back to the pure path; the
+ * caller's arrays being copies makes that safe).
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+
+typedef struct {
+    double key; /* -static_gain: min-heap top = best candidate */
+    int64_t k;  /* unique push counter: total order, heapq-compatible */
+    int64_t v;  /* vertex */
+    int64_t j;  /* destination subset */
+    int64_t s;  /* generation stamp at push time */
+} entry;
+
+typedef struct {
+    entry *a;
+    int64_t len, cap;
+} vec;
+
+static int vec_push(vec *h, entry e)
+{
+    if (h->len == h->cap) {
+        int64_t nc = h->cap ? h->cap * 2 : 64;
+        entry *na = (entry *)realloc(h->a, (size_t)nc * sizeof(entry));
+        if (!na)
+            return -1;
+        h->a = na;
+        h->cap = nc;
+    }
+    h->a[h->len++] = e;
+    return 0;
+}
+
+/* strict "less" on (key, counter) — the tuple order heapq sees */
+static inline int entry_lt(const entry *x, const entry *y)
+{
+    if (x->key < y->key)
+        return 1;
+    if (x->key > y->key)
+        return 0;
+    return x->k < y->k;
+}
+
+static void sift_down(entry *a, int64_t n, int64_t i)
+{
+    entry t = a[i];
+    for (;;) {
+        int64_t c = 2 * i + 1;
+        if (c >= n)
+            break;
+        if (c + 1 < n && entry_lt(&a[c + 1], &a[c]))
+            c++;
+        if (!entry_lt(&a[c], &t))
+            break;
+        a[i] = a[c];
+        i = c;
+    }
+    a[i] = t;
+}
+
+static void sift_up(entry *a, int64_t i)
+{
+    entry t = a[i];
+    while (i > 0) {
+        int64_t par = (i - 1) / 2;
+        if (!entry_lt(&t, &a[par]))
+            break;
+        a[i] = a[par];
+        i = par;
+    }
+    a[i] = t;
+}
+
+static int heap_push(vec *h, entry e)
+{
+    if (vec_push(h, e))
+        return -1;
+    sift_up(h->a, h->len - 1);
+    return 0;
+}
+
+static entry heap_pop(vec *h)
+{
+    entry top = h->a[0];
+    h->len--;
+    if (h->len > 0) {
+        h->a[0] = h->a[h->len];
+        sift_down(h->a, h->len, 0);
+    }
+    return top;
+}
+
+double kl_pass(int64_t n, int64_t p, const int64_t *xadj,
+               const int64_t *adjncy, const double *ewts, const double *vw,
+               const int64_t *hom, double alpha, double beta,
+               int64_t deadband, double maxcap, double floor_w,
+               int64_t window_n, int64_t stall_limit, double min_gain,
+               int64_t *asg, double *wt, double *connf, int64_t n0,
+               const double *g0, const int64_t *v0, const int64_t *j0)
+{
+    double best_cum = 0.0, cum = 0.0;
+    int64_t nmoves = 0, best_len = 0, counter = n0, wlen, t;
+    int64_t wcap = window_n > 0 ? window_n : 1;
+    vec heap = {0, 0, 0};
+    int64_t *gen = (int64_t *)calloc((size_t)(n * p), sizeof(int64_t));
+    unsigned char *locked = (unsigned char *)calloc((size_t)n, 1);
+    int64_t *mv_v = (int64_t *)malloc((size_t)n * sizeof(int64_t));
+    int64_t *mv_i = (int64_t *)malloc((size_t)n * sizeof(int64_t));
+    double *wfull = (double *)malloc((size_t)wcap * sizeof(double));
+    entry *went = (entry *)malloc((size_t)wcap * sizeof(entry));
+    /* admissibility-blocked candidates, indexed by the unblocking event */
+    vec *def_tgt = (vec *)calloc((size_t)p, sizeof(vec));
+    vec *def_src = (vec *)calloc((size_t)p, sizeof(vec));
+
+    if (!gen || !locked || !mv_v || !mv_i || !wfull || !went || !def_tgt ||
+        !def_src)
+        goto fail;
+
+    for (t = 0; t < n0; t++) {
+        entry e = {-g0[t], t, v0[t], j0[t], 1};
+        gen[e.v * p + e.j] = 1;
+        if (vec_push(&heap, e))
+            goto fail;
+    }
+    for (t = heap.len / 2 - 1; t >= 0; t--)
+        sift_down(heap.a, heap.len, t);
+
+/* re-stamp destination JT of u after its gain changed (kl.py `touch`) */
+#define TOUCH(JT)                                                        \
+    do {                                                                 \
+        int64_t idx_ = ub + (JT);                                        \
+        double cw_ = connf[idx_];                                        \
+        if (cw_ > 0.0 || (JT) == light) {                                \
+            double g_ = cw_ - base;                                      \
+            if (alpha != 0.0) {                                          \
+                int64_t hu_ = hom[u];                                    \
+                double t1_ = ((JT) != hu_) ? alpha * vw[u] : 0.0;        \
+                double t2_ = (au != hu_) ? alpha * vw[u] : 0.0;          \
+                g_ -= (t1_ - t2_);                                       \
+            }                                                            \
+            int64_t s_ = gen[idx_] + 1;                                  \
+            gen[idx_] = s_;                                              \
+            entry ne_ = {-g_, counter++, u, (JT), s_};                   \
+            if (heap_push(&heap, ne_))                                   \
+                goto fail;                                               \
+        } else if (gen[idx_]) {                                          \
+            gen[idx_] += 1;                                              \
+        }                                                                \
+    } while (0)
+
+    while (heap.len > 0) {
+        if (stall_limit && nmoves - best_len >= stall_limit)
+            break;
+        wlen = 0;
+        while (heap.len > 0 && wlen < window_n) {
+            entry e = heap_pop(&heap);
+            int64_t v = e.v, j, i;
+            double w, wj_after, full, Wi, Wj, bg, d;
+            if (locked[v])
+                continue;
+            j = e.j;
+            if (gen[v * p + j] != e.s)
+                continue; /* stale: superseded by a fresher entry */
+            i = asg[v];
+            w = vw[v];
+            wj_after = wt[j] + w;
+            if (!(wj_after <= maxcap || wj_after <= wt[i])) {
+                if (vec_push(&def_tgt[j], e) || vec_push(&def_src[i], e))
+                    goto fail;
+                continue;
+            }
+            full = -e.key;
+            if (beta == 0.0) {
+                wfull[wlen] = full;
+                went[wlen] = e;
+                wlen++;
+                break; /* static key == full gain: first valid pop wins */
+            }
+            Wi = wt[i];
+            Wj = wt[j];
+            if (deadband) {
+                bg = 0.0;
+                d = Wi - maxcap;
+                if (d > 0.0)
+                    bg += d * d;
+                d = floor_w - Wi;
+                if (d > 0.0)
+                    bg += d * d;
+                d = Wj - maxcap;
+                if (d > 0.0)
+                    bg += d * d;
+                d = floor_w - Wj;
+                if (d > 0.0)
+                    bg += d * d;
+                Wi -= w;
+                Wj += w;
+                d = Wi - maxcap;
+                if (d > 0.0)
+                    bg -= d * d;
+                d = floor_w - Wi;
+                if (d > 0.0)
+                    bg -= d * d;
+                d = Wj - maxcap;
+                if (d > 0.0)
+                    bg -= d * d;
+                d = floor_w - Wj;
+                if (d > 0.0)
+                    bg -= d * d;
+            } else {
+                bg = 2.0 * w * (Wi - Wj - w);
+            }
+            full += beta * bg;
+            wfull[wlen] = full;
+            went[wlen] = e;
+            wlen++;
+        }
+        if (wlen == 0)
+            break;
+        {
+            int64_t best_t = 0, v, j, i, light, nb;
+            double bf = wfull[0], full, w;
+            entry e;
+            for (t = 1; t < wlen; t++)
+                if (wfull[t] > bf) {
+                    bf = wfull[t];
+                    best_t = t;
+                }
+            full = wfull[best_t];
+            e = went[best_t];
+            v = e.v;
+            j = e.j;
+            i = asg[v];
+            w = vw[v];
+            asg[v] = j;
+            wt[i] -= w;
+            wt[j] += w;
+            locked[v] = 1;
+            mv_v[nmoves] = v;
+            mv_i[nmoves] = i;
+            nmoves++;
+            cum += full;
+            if (cum > best_cum + min_gain) {
+                best_cum = cum;
+                best_len = nmoves;
+            }
+
+            light = -1;
+            if (beta != 0.0) {
+                double wl = wt[0];
+                light = 0;
+                for (t = 1; t < p; t++)
+                    if (wt[t] < wl) {
+                        wl = wt[t];
+                        light = t;
+                    }
+            }
+
+            for (nb = xadj[v]; nb < xadj[v + 1]; nb++) {
+                int64_t u = adjncy[nb], ub, au;
+                double w_uv = ewts[nb], base;
+                ub = u * p;
+                connf[ub + i] -= w_uv;
+                connf[ub + j] += w_uv;
+                if (locked[u])
+                    continue;
+                au = asg[u];
+                base = connf[ub + au];
+                if (au == i || au == j) {
+                    /* u's internal degree changed: every destination */
+                    for (t = 0; t < p; t++) {
+                        if (t != au)
+                            TOUCH(t);
+                    }
+                } else {
+                    TOUCH(i);
+                    TOUCH(j);
+                    if (light >= 0 && light != i && light != j)
+                        TOUCH(light);
+                }
+            }
+
+            /* window leftovers not superseded by the move's refreshes */
+            if (wlen > 1) {
+                for (t = 0; t < wlen; t++) {
+                    entry le;
+                    if (t == best_t)
+                        continue;
+                    le = went[t];
+                    if (!locked[le.v] && gen[le.v * p + le.j] == le.s)
+                        if (heap_push(&heap, le))
+                            goto fail;
+                }
+            }
+            /* wake candidates whose envelope this move's Δweights affect */
+            if (def_tgt[i].len) {
+                for (t = 0; t < def_tgt[i].len; t++) {
+                    entry le = def_tgt[i].a[t];
+                    int64_t idx = le.v * p + le.j, s2;
+                    if (locked[le.v] || gen[idx] != le.s)
+                        continue; /* superseded (dedups the twin listing) */
+                    s2 = gen[idx] + 1;
+                    gen[idx] = s2;
+                    {
+                        entry ne = {le.key, counter++, le.v, le.j, s2};
+                        if (heap_push(&heap, ne))
+                            goto fail;
+                    }
+                }
+                def_tgt[i].len = 0;
+            }
+            if (def_src[j].len) {
+                for (t = 0; t < def_src[j].len; t++) {
+                    entry le = def_src[j].a[t];
+                    int64_t idx = le.v * p + le.j, s2;
+                    if (locked[le.v] || gen[idx] != le.s)
+                        continue;
+                    s2 = gen[idx] + 1;
+                    gen[idx] = s2;
+                    {
+                        entry ne = {le.key, counter++, le.v, le.j, s2};
+                        if (heap_push(&heap, ne))
+                            goto fail;
+                    }
+                }
+                def_src[j].len = 0;
+            }
+        }
+    }
+#undef TOUCH
+
+    /* roll back the suffix after the best prefix */
+    for (t = nmoves - 1; t >= best_len; t--) {
+        int64_t v = mv_v[t], i = mv_i[t];
+        double w = vw[v];
+        wt[asg[v]] -= w;
+        wt[i] += w;
+        asg[v] = i;
+    }
+    goto done;
+
+fail:
+    best_cum = NAN;
+done:
+    free(heap.a);
+    free(gen);
+    free(locked);
+    free(mv_v);
+    free(mv_i);
+    free(wfull);
+    free(went);
+    if (def_tgt) {
+        for (t = 0; t < p; t++)
+            free(def_tgt[t].a);
+        free(def_tgt);
+    }
+    if (def_src) {
+        for (t = 0; t < p; t++)
+            free(def_src[t].a);
+        free(def_src);
+    }
+    return best_cum;
+}

@@ -1,0 +1,143 @@
+"""Build & load the compiled KL pass kernel (:mod:`_klcore.c`).
+
+The kernel is compiled on first use with the system C compiler into a
+content-hashed shared object next to the source (or a temporary directory
+when the package directory is read-only) and loaded through :mod:`ctypes`.
+Everything degrades gracefully: no compiler, a failed build, a failed
+allocation inside the kernel, or ``REPRO_KL_NATIVE=0`` all fall back to the
+pure-Python pass in :mod:`repro.partition.kl`, which remains the reference
+implementation.  ``tests/test_kl_native.py`` asserts the two paths are
+decision-for-decision identical.
+
+The build deliberately avoids ``-ffast-math`` (and any flag that would let
+the compiler reassociate float expressions): gain keys must be bit-identical
+to the Python arithmetic or heap pop order — and therefore the refinement
+output — could drift.
+
+A welcome side effect of the ctypes boundary: the GIL is released for the
+duration of a pass, so under the threaded SimMPI runtime worker ranks keep
+running while the coordinator refines.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+_SRC = Path(__file__).with_name("_klcore.c")
+_CFLAGS = ["-O2", "-fPIC", "-shared", "-fno-fast-math"]
+_LOCK = threading.Lock()
+_LIB = None
+_TRIED = False
+_DISABLED = os.environ.get("REPRO_KL_NATIVE", "1") in ("0", "false", "no")
+
+_DUMMY_I64 = np.zeros(1, dtype=np.int64)  # stands in for hom when alpha == 0
+
+
+def _configure(lib) -> None:
+    c_i64 = ctypes.c_int64
+    c_f64 = ctypes.c_double
+    i64p = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+    f64p = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
+    lib.kl_pass.restype = c_f64
+    lib.kl_pass.argtypes = [
+        c_i64, c_i64,            # n, p
+        i64p, i64p, f64p, f64p,  # xadj, adjncy, ewts, vw
+        i64p, c_f64,             # hom, alpha
+        c_f64, c_i64, c_f64, c_f64,  # beta, deadband, maxcap, floor_w
+        c_i64, c_i64, c_f64,     # window, stall_limit, min_gain
+        i64p, f64p, f64p,        # asg, wt, connf  (mutated in place)
+        c_i64, f64p, i64p, i64p,  # n0, g0, v0, j0 (initial candidates)
+    ]
+
+
+def _compile_and_load():
+    src = _SRC.read_bytes()
+    tag = hashlib.sha256(src).hexdigest()[:16]
+    cc = os.environ.get("CC", "cc")
+    so = _SRC.with_name(f"_klcore-{tag}.so")
+    if not so.exists():
+        with tempfile.TemporaryDirectory() as td:
+            tmp = Path(td) / "klcore.so"
+            subprocess.run(
+                [cc, *_CFLAGS, "-o", str(tmp), str(_SRC), "-lm"],
+                check=True, capture_output=True,
+            )
+            try:
+                os.replace(tmp, so)  # atomic publish for future imports
+            except OSError:
+                # package dir read-only: dlopen from the tempdir — on
+                # POSIX the mapping survives the directory's deletion
+                lib = ctypes.CDLL(str(tmp))
+                _configure(lib)
+                return lib
+    lib = ctypes.CDLL(str(so))
+    _configure(lib)
+    return lib
+
+
+def load():
+    """The compiled kernel, built on first call; ``None`` if unavailable."""
+    global _LIB, _TRIED
+    if _DISABLED:
+        return None
+    if _TRIED:
+        return _LIB
+    with _LOCK:
+        if not _TRIED:
+            try:
+                _LIB = _compile_and_load()
+            except Exception:
+                _LIB = None
+            _TRIED = True
+    return _LIB
+
+
+def kl_pass_native(state, conn2d, weights_np, gs, vs, cs):
+    """Run one pass in the compiled kernel; ``None`` means "fall back".
+
+    Receives the prelude's results (connectivity matrix, subset weights,
+    initial candidate gains/vertices/destinations).  The kernel mutates
+    private copies, so a ``None`` return leaves ``state`` untouched.
+    """
+    lib = load()
+    if lib is None:
+        return None
+    cfg = state.cfg
+    graph = state.graph
+    n = graph.n_vertices
+    alpha = float(cfg.alpha) if state.home is not None else 0.0
+    if alpha:
+        hom = np.ascontiguousarray(state.home, dtype=np.int64)
+    else:
+        hom = _DUMMY_I64  # never dereferenced when alpha == 0
+    asg = state.assign.astype(np.int64)      # working copies: the kernel
+    wt = weights_np.astype(np.float64)       # must not corrupt state on a
+    connf = conn2d.astype(np.float64).ravel()  # mid-pass failure
+    best = lib.kl_pass(
+        n, state.p,
+        np.ascontiguousarray(graph.xadj, dtype=np.int64),
+        np.ascontiguousarray(graph.adjncy, dtype=np.int64),
+        np.ascontiguousarray(graph.ewts, dtype=np.float64),
+        np.ascontiguousarray(graph.vwts, dtype=np.float64),
+        hom, alpha,
+        float(cfg.beta), int(cfg.balance_mode == "deadband"),
+        state.maxcap, state.mean - state.band,
+        int(cfg.window), int(cfg.stall_limit), float(cfg.min_gain),
+        asg, wt, connf,
+        int(gs.shape[0]),
+        np.ascontiguousarray(gs, dtype=np.float64),
+        np.ascontiguousarray(vs, dtype=np.int64),
+        np.ascontiguousarray(cs, dtype=np.int64),
+    )
+    if best != best:  # NaN: allocation failure inside the kernel
+        return None
+    state.assign[:] = asg
+    return float(best)

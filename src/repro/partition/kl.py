@@ -59,6 +59,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graph.csr import WeightedGraph
+from repro.partition import _klnative
 from repro.partition.metrics import graph_cut, validate_assignment
 from repro.perf import PERF
 
@@ -138,14 +139,27 @@ class _KLState:
         self.ewts = graph.ewts
         n = graph.n_vertices
         self.src = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.xadj))
-        # Hot-loop list mirrors of the immutable arrays, built once per
-        # kl_refine call and shared by every pass (tolist() per pass is
-        # measurable at bench scale: ~15% of a converged pass).
-        self.xadj_l = self.xadj.tolist()
-        self.adj_l = self.adjncy.tolist()
-        self.ewt_l = self.ewts.tolist()
-        self.vw_l = self.vwts.tolist()
-        self.hom_l = home.tolist() if (home is not None and cfg.alpha) else None
+        # Hot-loop list mirrors of the immutable arrays, built lazily on
+        # the first pure-Python pass and shared by every later one
+        # (tolist() per pass is measurable at bench scale: ~15% of a
+        # converged pass; the compiled kernel never needs them).
+        self.xadj_l = None
+        self.adj_l = None
+        self.ewt_l = None
+        self.vw_l = None
+        self.hom_l = None
+
+    def _ensure_lists(self) -> None:
+        if self.xadj_l is None:
+            self.xadj_l = self.xadj.tolist()
+            self.adj_l = self.adjncy.tolist()
+            self.ewt_l = self.ewts.tolist()
+            self.vw_l = self.vwts.tolist()
+            self.hom_l = (
+                self.home.tolist()
+                if (self.home is not None and self.cfg.alpha)
+                else None
+            )
 
     def objective(self) -> float:
         """The full configured objective at the current assignment:
@@ -167,7 +181,14 @@ class _KLState:
 
 
 def _kl_pass(state: _KLState) -> float:
-    """One KL pass with rollback; returns the objective improvement kept."""
+    """One KL pass with rollback; returns the objective improvement kept.
+
+    The vectorized prelude (connectivity, boundary seeding, initial
+    candidates) runs here in numpy for both paths; the sequential
+    hill-climb dispatches to the compiled kernel when it is available
+    (decision-for-decision identical — see ``_klcore.c``) and otherwise to
+    the pure-Python reference loop :func:`_kl_pass_py`.
+    """
     cfg = state.cfg
     n = state.graph.n_vertices
     p = state.p
@@ -175,12 +196,6 @@ def _kl_pass(state: _KLState) -> float:
     home = state.home
     alpha = float(cfg.alpha) if home is not None else 0.0
     beta = float(cfg.beta)
-    mean = state.mean
-    maxcap = state.maxcap
-    floor_w = mean - state.band
-    deadband = cfg.balance_mode == "deadband"
-    min_gain = cfg.min_gain
-    window_n = cfg.window
 
     # Flat connectivity: conn2d[v, s] = edge weight from v into subset s,
     # built by one vectorized bincount over the CSR arrays.
@@ -198,18 +213,16 @@ def _kl_pass(state: _KLState) -> float:
     # Under heavy imbalance the boundary alone may not free enough weight;
     # also seed every vertex of overweight subsets when beta is active.
     if beta:
-        over = weights_np > maxcap
+        over = weights_np > state.maxcap
         if over.any():
             bmask |= over[assign]
     bidx = np.flatnonzero(bmask)
 
-    # Vectorized initial heap: every (boundary vertex, adjacent subset)
-    # candidate in one shot.  When the balance term is active, the globally
-    # lightest subset is also offered, so starved or even *empty* subsets
-    # (which no vertex is adjacent to) can be re-seeded — the balance gain
-    # decides whether such a teleport is worth its cut cost.
-    gen = [0] * (n * p)
-    heap: list = []
+    # Vectorized initial candidates: every (boundary vertex, adjacent
+    # subset) pair in one shot.  When the balance term is active, the
+    # globally lightest subset is also offered, so starved or even *empty*
+    # subsets (which no vertex is adjacent to) can be re-seeded — the
+    # balance gain decides whether such a teleport is worth its cut cost.
     if bidx.size:
         cand = conn2d[bidx] > 0
         iv = assign[bidx]
@@ -226,13 +239,44 @@ def _kl_pass(state: _KLState) -> float:
             gs = gs - alpha * state.vwts[vs] * (
                 (c != hh).astype(np.float64) - (ivs != hh).astype(np.float64)
             )
-        flat_idx = vs * p + c
-        for k, (g, v, j, fi) in enumerate(
-            zip(gs.tolist(), vs.tolist(), c.tolist(), flat_idx.tolist())
-        ):
-            gen[fi] = 1
-            heap.append((-g, k, v, j, 1))
-        heapq.heapify(heap)
+    else:
+        gs = np.empty(0, dtype=np.float64)
+        vs = c = np.empty(0, dtype=np.int64)
+
+    res = _klnative.kl_pass_native(state, conn2d, weights_np, gs, vs, c)
+    if res is not None:
+        return res
+    return _kl_pass_py(state, conn2d, weights_np, gs, vs, c)
+
+
+def _kl_pass_py(state: _KLState, conn2d, weights_np, gs, vs, cs) -> float:
+    """Pure-Python reference for the sequential half of one KL pass.
+
+    ``gs``/``vs``/``cs`` are the prelude's initial candidates (gain,
+    vertex, destination).  The compiled kernel mirrors this loop exactly;
+    change them together (``tests/test_kl_native.py`` enforces parity).
+    """
+    cfg = state.cfg
+    n = state.graph.n_vertices
+    p = state.p
+    assign = state.assign
+    home = state.home
+    alpha = float(cfg.alpha) if home is not None else 0.0
+    beta = float(cfg.beta)
+    mean = state.mean
+    maxcap = state.maxcap
+    floor_w = mean - state.band
+    deadband = cfg.balance_mode == "deadband"
+    min_gain = cfg.min_gain
+    window_n = cfg.window
+    state._ensure_lists()
+
+    gen = [0] * (n * p)
+    heap: list = []
+    for k, (g, v, j) in enumerate(zip(gs.tolist(), vs.tolist(), cs.tolist())):
+        gen[v * p + j] = 1
+        heap.append((-g, k, v, j, 1))
+    heapq.heapify(heap)
 
     # All hot-loop state is flat Python lists: every read/write below is a
     # scalar, no numpy scalar boxing on the per-move path.

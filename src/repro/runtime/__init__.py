@@ -11,6 +11,7 @@ with full per-phase traffic accounting
 exact message and byte counts deterministically.
 """
 
+from repro.runtime.codec import decode, encode
 from repro.runtime.faults import (
     FaultLog,
     FaultPlan,
@@ -40,6 +41,8 @@ from repro.runtime.costmodel import (
 )
 
 __all__ = [
+    "encode",
+    "decode",
     "SimComm",
     "Request",
     "spmd_run",

@@ -103,7 +103,7 @@ class RoundCheckpoint:
     history: list
     coordinator: int
     coord_vwts: Optional[np.ndarray] = None
-    coord_edges: Optional[dict] = None
+    coord_edges: Optional[tuple] = None  # (sorted packed edge keys, weights)
 
 
 class CheckpointStore:

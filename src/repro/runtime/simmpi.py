@@ -5,9 +5,15 @@
 :class:`SimComm`, which provides blocking point-to-point ``send``/``recv``
 (tag-matched, per-pair FIFO order) and the collectives PARED uses
 (``bcast``, ``gather``, ``scatter``, ``allgather``, ``allreduce``,
-``barrier``).  Payload sizes are measured by pickling — the same wire format
-mpi4py's lowercase API uses — and recorded per phase in a shared
-:class:`~repro.runtime.stats.TrafficStats`.
+``barrier``).  Payloads travel as typed frames of
+:mod:`repro.runtime.codec` — raw numpy buffers plus a small tag header,
+with pickle retained as the fallback leaf for arbitrary objects — and the
+frame size is recorded per phase in a shared
+:class:`~repro.runtime.stats.TrafficStats` (the accounting rule is
+unchanged: one record of ``len(frame)`` bytes per logical message).
+Encode, decode and receive-wait time land in :data:`repro.perf.PERF`
+under ``codec.encode.<phase>``, ``codec.decode.<phase>`` and
+``simmpi.wait.<phase>``, so round profiles show the data-plane cost.
 
 Error containment: an exception on any rank cancels the run and is re-raised
 in the caller (with the originating rank), instead of deadlocking the other
@@ -33,11 +39,13 @@ exactly the original fail-stop semantics.
 
 from __future__ import annotations
 
-import pickle
 import queue
 import threading
 import time
+from time import perf_counter
 
+from repro.perf import PERF
+from repro.runtime.codec import decode as _decode, encode as _encode
 from repro.runtime.faults import (
     FaultLog,
     FaultPlan,
@@ -282,9 +290,21 @@ class SimComm:
         if self._faults is not None:
             self._send_faulty(obj, dest, tag)
             return
-        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = self._encode_timed(obj)
         self._shared.stats.record(self.rank, dest, len(payload), self.phase)
         self._shared.queues[(self.rank, dest)].put((tag, payload))
+
+    def _encode_timed(self, obj) -> bytes:
+        tick = perf_counter()
+        payload = _encode(obj)
+        PERF.add("codec.encode." + self.phase, perf_counter() - tick)
+        return payload
+
+    def _decode_timed(self, payload: bytes):
+        tick = perf_counter()
+        obj = _decode(payload)
+        PERF.add("codec.decode." + self.phase, perf_counter() - tick)
+        return obj
 
     def recv(self, source: int, tag: int = 0, timeout: float = None):
         """Blocking receive of the next message from ``source`` with ``tag``
@@ -297,8 +317,9 @@ class SimComm:
             timeout = _DEFAULT_TIMEOUT
         stash = self._stash.setdefault(source, {})
         if tag in stash and stash[tag]:
-            return pickle.loads(stash[tag].pop(0))
+            return self._decode_timed(stash[tag].pop(0))
         q = self._shared.queues[(source, self.rank)]
+        tick = perf_counter()
         while True:
             if self._shared.abort.is_set():
                 raise SimMPIAborted("run aborted")
@@ -316,7 +337,8 @@ class SimComm:
                     )
                 continue
             if got_tag == tag:
-                return pickle.loads(payload)
+                PERF.add("simmpi.wait." + self.phase, perf_counter() - tick)
+                return self._decode_timed(payload)
             stash.setdefault(got_tag, []).append(payload)
 
     # ------------------------------------------------------------------ #
@@ -343,7 +365,7 @@ class SimComm:
         """
         plan = self._faults
         self._count_op()
-        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = self._encode_timed(obj)
         self._shared.stats.record(self.rank, dest, len(payload), self.phase)
         seq = self._out_seq.get(dest, 0)
         self._out_seq[dest] = seq + 1
@@ -411,10 +433,11 @@ class SimComm:
         """One bounded attempt at delivering the next in-order message."""
         stash = self._stash.setdefault(source, {})
         if tag in stash and stash[tag]:
-            return pickle.loads(stash[tag].pop(0))
+            return self._decode_timed(stash[tag].pop(0))
         buf = self._reseq.setdefault(source, {})
         q = self._shared.queues[(source, self.rank)]
         remaining = timeout
+        tick = perf_counter()
         while True:
             if self._shared.abort.is_set():
                 raise SimMPIAborted("run aborted")
@@ -427,7 +450,8 @@ class SimComm:
                 self._next_seq[source] = nxt + 1
                 got_tag, _, payload = entry
                 if got_tag == tag:
-                    return pickle.loads(payload)
+                    PERF.add("simmpi.wait." + self.phase, perf_counter() - tick)
+                    return self._decode_timed(payload)
                 stash.setdefault(got_tag, []).append(payload)
                 continue
             try:

@@ -1,0 +1,92 @@
+"""Parity of the compiled KL pass (:mod:`repro.partition._klnative`) with
+the pure-Python reference loop.
+
+The compiled kernel must be *decision-for-decision* identical: same heap pop
+order (total order on ``(key, counter)``), same float arithmetic, same
+deferral/revival bookkeeping — so refinement output matches bit-for-bit and
+the golden-pinned partitions stay stable whether or not a C compiler is
+present."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import WeightedGraph
+from repro.partition import _klnative
+from repro.partition.kl import KLConfig, kl_refine
+
+native_only = pytest.mark.skipif(
+    _klnative.load() is None, reason="compiled KL kernel unavailable"
+)
+
+
+def _rand_graph(n, avg_deg, rng):
+    edges = set()
+    target = n * avg_deg // 2
+    while len(edges) < target:
+        a, b = (int(x) for x in rng.integers(0, n, 2))
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    edges = np.array(sorted(edges), dtype=np.int64)
+    ewts = rng.uniform(0.5, 3.0, len(edges))
+    vwts = rng.uniform(0.5, 4.0, n)
+    return WeightedGraph.from_edges(n, edges, ewts, vwts)
+
+
+def _both_paths(graph, asg, p, home, cfg):
+    out_native = kl_refine(graph, asg, p, home=home, config=cfg)
+    saved = _klnative._DISABLED
+    _klnative._DISABLED = True
+    try:
+        out_pure = kl_refine(graph, asg, p, home=home, config=cfg)
+    finally:
+        _klnative._DISABLED = saved
+    return out_native, out_pure
+
+
+@native_only
+class TestNativeParity:
+    def test_randomized_configs(self):
+        rng = np.random.default_rng(42)
+        for trial in range(25):
+            n = int(rng.integers(20, 300))
+            p = int(rng.integers(2, 7))
+            graph = _rand_graph(n, 6, rng)
+            asg = rng.integers(0, p, n)
+            home = asg.copy() if trial % 2 else None
+            cfg = KLConfig(
+                alpha=float(rng.choice([0.0, 0.5, 2.0])),
+                beta=float(rng.choice([0.0, 0.1, 1.0])),
+                balance_mode=str(rng.choice(["quadratic", "deadband"])),
+                window=int(rng.choice([1, 4, 8])),
+                stall_limit=int(rng.choice([0, 64, 256])),
+            )
+            out_native, out_pure = _both_paths(graph, asg, p, home, cfg)
+            assert np.array_equal(out_native, out_pure), (
+                f"trial {trial}: native/pure divergence with {cfg}"
+            )
+
+    def test_pnr_shaped_config(self):
+        # the configuration the PARED rounds actually run: alpha + deadband
+        rng = np.random.default_rng(3)
+        graph = _rand_graph(500, 6, rng)
+        asg = rng.integers(0, 4, 500)
+        cfg = KLConfig(
+            alpha=1.0, beta=0.5, balance_mode="deadband", balance_tol=0.05
+        )
+        out_native, out_pure = _both_paths(graph, asg, 4, asg.copy(), cfg)
+        assert np.array_equal(out_native, out_pure)
+
+    def test_empty_boundary_noop(self):
+        # two disconnected cliques already split: no boundary, no moves
+        edges = np.array(
+            [[0, 1], [1, 2], [0, 2], [3, 4], [4, 5], [3, 5]], dtype=np.int64
+        )
+        graph = WeightedGraph.from_edges(6, edges, np.ones(6), np.ones(6))
+        asg = np.array([0, 0, 0, 1, 1, 1])
+        out_native, out_pure = _both_paths(graph, asg, 2, None, KLConfig())
+        assert np.array_equal(out_native, asg)
+        assert np.array_equal(out_pure, asg)
+
+    def test_env_escape_hatch_forces_pure(self, monkeypatch):
+        monkeypatch.setattr(_klnative, "_DISABLED", True)
+        assert _klnative.load() is None

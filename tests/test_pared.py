@@ -96,6 +96,8 @@ class TestDistributedMesh:
         assert all(n == serial.n_leaves for n in results)
 
     def test_weight_update_matches_dual_graph(self):
+        from repro.pared.weights import split_edge_keys
+
         def prog(comm):
             am = AdaptiveMesh.unit_square(4)
             am.refine([0, 3])
@@ -105,19 +107,21 @@ class TestDistributedMesh:
             all_updates = comm.allgather(upd)
             if comm.rank == 0:
                 g = coarse_dual_graph(am.mesh)
-                vw = {}
-                ew = {}
-                for u in all_updates:
-                    vw.update(u["v"])
-                    ew.update(u["e"])
-                assert len(vw) == am.n_roots
-                for a, w in vw.items():
-                    assert w == g.vwts[a]
+                n = am.n_roots
+                v_ids = np.concatenate([u["v_ids"] for u in all_updates])
+                v_wts = np.concatenate([u["v_wts"] for u in all_updates])
+                assert v_ids.size == n == np.unique(v_ids).size
+                vwts = np.zeros(n)
+                vwts[v_ids] = v_wts
+                assert np.array_equal(vwts, g.vwts)
                 # every coarse edge reported exactly once, correct weight
+                e_keys = np.concatenate([u["e_keys"] for u in all_updates])
+                e_wts = np.concatenate([u["e_wts"] for u in all_updates])
+                assert e_keys.size == g.n_edges == np.unique(e_keys).size
                 mat = g.to_scipy()
-                assert len(ew) == g.n_edges
-                for (a, b), w in ew.items():
-                    assert mat[a, b] == w
+                ea, eb = split_edge_keys(e_keys, n)
+                for a, b, w in zip(ea, eb, e_wts):
+                    assert a < b and mat[a, b] == w
             return True
 
         assert all(spmd_run(2, prog))
@@ -218,47 +222,73 @@ class TestFullLoop:
         assert histories[0][-1]["leaves"] > 0
 
 
+def _packed_report(v, e, n, v_dead=(), e_dead=()):
+    """Build a packed weight report from ``{root: w}`` / ``{(a, b): w}``
+    dicts — test-side sugar over the array wire format."""
+    from repro.pared.weights import edge_keys
+
+    v_ids = np.array(sorted(v), dtype=np.int64)
+    e_ab = sorted(e)
+    return {
+        "v_ids": v_ids,
+        "v_wts": np.array([v[a] for a in v_ids], dtype=np.float64),
+        "e_keys": np.array([a * n + b for a, b in e_ab], dtype=np.int64),
+        "e_wts": np.array([e[k] for k in e_ab], dtype=np.float64),
+        "v_dead": np.array(sorted(v_dead), dtype=np.int64),
+        "e_dead": np.array(
+            sorted(int(edge_keys(a, b, n)) for a, b in e_dead), dtype=np.int64
+        ),
+    }
+
+
 class TestDeltaTombstones:
     """The P2 delta protocol must *delete* state at the coordinator, not
     just overwrite it: a key a rank stops reporting (handoff, coarsening)
-    travels as a ``None`` tombstone and the coordinator drops it."""
+    travels in the report's ``v_dead``/``e_dead`` tombstone arrays and the
+    coordinator drops it."""
 
     @staticmethod
     def _full_report(mesh):
         """The single-owner full weight report of a mesh: every vertex and
         every ``a < b`` edge of its coarse dual graph."""
+        from repro.pared.weights import full_weight_report
+
         g = coarse_dual_graph(mesh)
-        v = {int(a): float(g.vwts[a]) for a in range(g.n_vertices)}
-        e = {}
-        for a in range(g.n_vertices):
-            for idx in range(g.xadj[a], g.xadj[a + 1]):
-                b = int(g.adjncy[idx])
-                if a < b:
-                    e[(int(a), b)] = float(g.ewts[idx])
-        return {"v": v, "e": e}
+        owner = np.zeros(g.n_vertices, dtype=np.int64)
+        return full_weight_report(g, owner, 0)
 
     def test_diff_update_emits_tombstones(self):
-        from repro.pared.system import _diff_update
+        from repro.pared.weights import diff_weight_report, edge_keys
 
-        prev = {"v": {0: 1.0, 1: 2.0}, "e": {(0, 1): 3.0, (1, 2): 1.0}}
-        full = {"v": {0: 1.0, 2: 4.0}, "e": {(0, 1): 5.0}}
-        delta = _diff_update(full, prev)
-        assert delta["v"] == {2: 4.0, 1: None}  # 0 unchanged: not resent
-        assert delta["e"] == {(0, 1): 5.0, (1, 2): None}
+        n = 8
+        prev = _packed_report({0: 1.0, 1: 2.0}, {(0, 1): 3.0, (1, 2): 1.0}, n)
+        full = _packed_report({0: 1.0, 2: 4.0}, {(0, 1): 5.0}, n)
+        delta = diff_weight_report(full, prev)
+        # 0 unchanged: not resent; 1 gone: tombstoned
+        assert delta["v_ids"].tolist() == [2]
+        assert delta["v_wts"].tolist() == [4.0]
+        assert delta["v_dead"].tolist() == [1]
+        assert delta["e_keys"].tolist() == [int(edge_keys(0, 1, n))]
+        assert delta["e_wts"].tolist() == [5.0]
+        assert delta["e_dead"].tolist() == [int(edge_keys(1, 2, n))]
 
     def test_merge_handoff_is_order_independent(self):
         from repro.pared.system import _CoordinatorGraph
+        from repro.pared.weights import edge_keys
 
         # root 3 moves from the old owner (tombstone) to a new owner
         # (fresh value); both reports land in the same round's batch
-        tomb = {"v": {3: None}, "e": {(3, 4): None}}
-        fresh = {"v": {3: 7.0}, "e": {(3, 4): 2.0}}
+        n = 8
+        tomb = _packed_report({}, {}, n, v_dead=[3], e_dead=[(3, 4)])
+        fresh = _packed_report({3: 7.0}, {(3, 4): 2.0}, n)
         for batch in ([tomb, fresh], [fresh, tomb]):
-            cg = _CoordinatorGraph(8)
-            cg.merge([{"v": {3: 1.0, 4: 1.0}, "e": {(3, 4): 1.0}}])
+            cg = _CoordinatorGraph(n)
+            cg.merge([_packed_report({3: 1.0, 4: 1.0}, {(3, 4): 1.0}, n)])
             cg.merge(batch)
             assert cg.vwts[3] == 7.0
-            assert cg.edges[(3, 4)] == 2.0
+            pos = np.searchsorted(cg.ekeys, int(edge_keys(3, 4, n)))
+            assert cg.ekeys[pos] == int(edge_keys(3, 4, n))
+            assert cg.ewts[pos] == 2.0
 
     def test_stale_entries_are_dropped_at_coordinator(self):
         """Regression for the unbounded-growth bug: before tombstones, a
@@ -268,7 +298,8 @@ class TestDeltaTombstones:
         by the same audit the PARED loop runs."""
         from repro.geometry.generators import structured_tri_mesh
         from repro.mesh.mesh2d import TriMesh
-        from repro.pared.system import _CoordinatorGraph, _diff_update
+        from repro.pared.system import _CoordinatorGraph
+        from repro.pared.weights import diff_weight_report
         from repro.testing import check_dual_graph_weights
 
         grid = AdaptiveMesh.unit_square(2)  # 8 roots, ring adjacency
@@ -277,13 +308,13 @@ class TestDeltaTombstones:
         full_strip = self._full_report(strip.mesh)
         # precondition: the baseline has edges the new report lacks, so a
         # diff without tombstones would leave them stale
-        gone = set(full_grid["e"]) - set(full_strip["e"])
-        assert gone, "meshes must differ in coarse adjacency"
+        gone = np.setdiff1d(full_grid["e_keys"], full_strip["e_keys"])
+        assert gone.size, "meshes must differ in coarse adjacency"
 
         cg = _CoordinatorGraph(8)
         cg.merge([full_grid])
-        cg.merge([_diff_update(full_strip, full_grid)])
-        assert not (set(cg.edges) & gone)
+        cg.merge([diff_weight_report(full_strip, full_grid)])
+        assert not np.isin(cg.ekeys, gone).any()
         check_dual_graph_weights(strip.mesh, cg.graph())
 
     def test_coarsen_heavy_audited_run_keeps_graph_exact(self):
