@@ -247,6 +247,7 @@ def _cmd_pared(args) -> int:
         marker=marker,
         rounds=args.rounds,
         pnr=PNR(seed=args.seed),
+        transport=args.transport,
     )
     histories, stats = run_pared(cfg)
     rows = [
@@ -254,9 +255,12 @@ def _cmd_pared(args) -> int:
          r["elements_moved"], r["trees_moved"], f"{r['imbalance_before']:.3f}")
         for r in histories[0]
     ]
+    from repro.runtime.transport import resolve_backend
+
+    backend = resolve_backend(args.transport)
     print(format_table(
         ["round", "leaves", "cut", "sharedV", "moved", "trees", "imb"],
-        rows, title=f"PARED on {args.p} ranks",
+        rows, title=f"PARED on {args.p} ranks ({backend} backend)",
     ))
     for phase, (msgs, nbytes) in stats.phase_report().items():
         print(f"  {phase}: {msgs} messages, {nbytes} bytes")
@@ -363,6 +367,11 @@ def build_parser() -> argparse.ArgumentParser:
     pa.add_argument("--n", type=int, default=12)
     pa.add_argument("--rounds", type=int, default=4)
     pa.add_argument("--seed", type=int, default=2)
+    pa.add_argument(
+        "--transport", choices=("thread", "process"), default=None,
+        help="rank backend: threads (default) or one OS process per rank "
+             "(real multi-core; also via REPRO_TRANSPORT)",
+    )
     pa.set_defaults(fn=_cmd_pared)
 
     s = sub.add_parser("solve", help="adaptive FEM error ladder")

@@ -119,6 +119,12 @@ class ParedConfig:
         the dead rank's trees (see the module docstring).  When False (the
         default) a crash surfaces as a clean
         :class:`~repro.runtime.faults.SimRankCrashed`, exactly as before.
+    transport:
+        Wire backend for the ranks: ``"thread"`` (default), ``"process"``
+        (one OS process per rank over sockets — real multi-core
+        wall-clock), or ``None`` to defer to the ``REPRO_TRANSPORT``
+        environment variable.  ``faults``/``recover`` require the thread
+        backend (see :func:`~repro.runtime.transport.resolve_backend`).
     """
 
     p: int
@@ -131,6 +137,7 @@ class ParedConfig:
     faults: Optional[FaultPlan] = None
     audit: bool = False
     recover: bool = False
+    transport: Optional[str] = None
 
 
 class _CoordinatorGraph:
@@ -539,6 +546,7 @@ def run_pared(cfg: ParedConfig):
         return_stats=True,
         faults=cfg.faults,
         recover=cfg.recover,
+        transport=cfg.transport,
     )
     check_history_agreement(histories)
     stats.kernel_perf = PERF.snapshot()

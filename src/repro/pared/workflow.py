@@ -45,10 +45,12 @@ from repro.testing import (
 class WorkflowConfig:
     """Configuration of the solve-driven PARED loop.
 
-    ``faults`` and ``audit`` mirror
-    :class:`~repro.pared.system.ParedConfig`: the former injects a seeded
-    :class:`~repro.runtime.faults.FaultPlan` into the wire, the latter runs
-    the :mod:`repro.testing` invariant checks at the end of every round.
+    ``faults``, ``audit`` and ``transport`` mirror
+    :class:`~repro.pared.system.ParedConfig`: the first injects a seeded
+    :class:`~repro.runtime.faults.FaultPlan` into the wire, the second runs
+    the :mod:`repro.testing` invariant checks at the end of every round,
+    and the third selects the rank backend (``"thread"``/``"process"``,
+    ``None`` defers to ``REPRO_TRANSPORT``).
     """
 
     p: int
@@ -62,6 +64,7 @@ class WorkflowConfig:
     cg_rtol: float = 1e-8
     faults: Optional[FaultPlan] = None
     audit: bool = False
+    transport: Optional[str] = None
 
 
 def _workflow_rank(comm, cfg: WorkflowConfig):
@@ -174,5 +177,10 @@ def run_workflow(cfg: WorkflowConfig):
     """Run the solve→estimate→adapt→repartition loop on ``cfg.p`` ranks;
     returns ``(histories, traffic_stats)``."""
     return spmd_run(
-        cfg.p, _workflow_rank, cfg, return_stats=True, faults=cfg.faults
+        cfg.p,
+        _workflow_rank,
+        cfg,
+        return_stats=True,
+        faults=cfg.faults,
+        transport=cfg.transport,
     )

@@ -61,6 +61,15 @@ class PerfRegistry:
         items.sort(key=lambda kv: -kv[1][1])
         return dict(items)
 
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one —
+        the process transport ships each rank's spans to the parent so
+        multi-process runs aggregate exactly like threaded ones."""
+        with self._lock:
+            for name, (calls, secs) in snap.items():
+                self.calls[name] += calls
+                self.seconds[name] += secs
+
     def reset(self) -> None:
         with self._lock:
             self.seconds.clear()

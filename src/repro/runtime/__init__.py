@@ -30,6 +30,14 @@ from repro.runtime.recovery import (
 )
 from repro.runtime.simmpi import Request, SimComm, spmd_run
 from repro.runtime.stats import TrafficStats, PhaseTimer
+from repro.runtime.transport import (
+    FrameAssembler,
+    SimMPIAborted,
+    SimMPITimeout,
+    SimRankDied,
+    pack_frame,
+    resolve_backend,
+)
 from repro.runtime.costmodel import (
     IBM_SP,
     MODERN_HPC,
@@ -46,6 +54,12 @@ __all__ = [
     "SimComm",
     "Request",
     "spmd_run",
+    "SimMPIAborted",
+    "SimMPITimeout",
+    "SimRankDied",
+    "FrameAssembler",
+    "pack_frame",
+    "resolve_backend",
     "FaultPlan",
     "FaultLog",
     "FaultToleranceExhausted",

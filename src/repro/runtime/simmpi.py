@@ -15,6 +15,17 @@ Encode, decode and receive-wait time land in :data:`repro.perf.PERF`
 under ``codec.encode.<phase>``, ``codec.decode.<phase>`` and
 ``simmpi.wait.<phase>``, so round profiles show the data-plane cost.
 
+Transports: the wire behind ``send``/``recv`` is pluggable
+(:mod:`repro.runtime.transport`).  The default backend runs one *thread*
+per rank over in-process queues — deterministic, cheap, and the substrate
+for fault injection and crash recovery.  ``spmd_run(...,
+transport="process")`` (or ``REPRO_TRANSPORT=process``) runs one forked
+*process* per rank over Unix sockets instead, so phases execute on real
+cores with no GIL serialization; frames on the socket wire are exactly the
+typed codec bytes behind a 16-byte length prefix, and per-worker traffic
+ledgers are merged at the end of the run, so accounting is identical on
+both backends.
+
 Error containment: an exception on any rank cancels the run and is re-raised
 in the caller (with the originating rank), instead of deadlocking the other
 ranks; their pending ``recv`` calls raise :class:`SimMPIAborted`.
@@ -56,12 +67,17 @@ from repro.runtime.faults import (
 )
 from repro.runtime.recovery import MembershipChange, PeerCrashed
 from repro.runtime.stats import TrafficStats
+from repro.runtime.transport import (  # noqa: F401  (re-exported API)
+    SimMPIAborted,
+    SimMPITimeout,
+    SimRankDied,
+    ThreadTransport,
+    TransportEmpty,
+    process_spmd_run,
+    resolve_backend,
+)
 
 _DEFAULT_TIMEOUT = 120.0
-
-
-class SimMPIAborted(RuntimeError):
-    """Another rank failed; this rank's pending communication is void."""
 
 
 class _LiveBarrier:
@@ -193,10 +209,16 @@ class Request:
 class SimComm:
     """Per-rank communicator handle."""
 
-    def __init__(self, shared: _Shared, rank: int):
+    def __init__(self, shared: _Shared, rank: int, transport=None):
         self._shared = shared
         self.rank = rank
         self.size = shared.size
+        # the wire itself is pluggable (see repro.runtime.transport); the
+        # threaded queue wire remains the default and the only transport
+        # the fault-injection and recovery paths below run on
+        self._transport = (
+            transport if transport is not None else ThreadTransport(shared, rank)
+        )
         self.phase = "default"
         # out-of-order tag buffer per source
         self._stash = {}
@@ -279,7 +301,7 @@ class SimComm:
 
     def send(self, obj, dest: int, tag: int = 0) -> None:
         """Send a picklable object to ``dest`` (non-blocking, buffered)."""
-        if self._shared.abort.is_set():
+        if self._transport.aborted():
             raise SimMPIAborted("run aborted")
         if not (0 <= dest < self.size):
             raise ValueError(f"invalid dest {dest}")
@@ -292,7 +314,7 @@ class SimComm:
             return
         payload = self._encode_timed(obj)
         self._shared.stats.record(self.rank, dest, len(payload), self.phase)
-        self._shared.queues[(self.rank, dest)].put((tag, payload))
+        self._transport.push(dest, tag, payload)
 
     def _encode_timed(self, obj) -> bytes:
         tick = perf_counter()
@@ -318,21 +340,20 @@ class SimComm:
         stash = self._stash.setdefault(source, {})
         if tag in stash and stash[tag]:
             return self._decode_timed(stash[tag].pop(0))
-        q = self._shared.queues[(source, self.rank)]
         tick = perf_counter()
         while True:
-            if self._shared.abort.is_set():
+            if self._transport.aborted():
                 raise SimMPIAborted("run aborted")
             try:
-                got_tag, payload = q.get(timeout=0.05)
-            except queue.Empty:
+                got_tag, payload = self._transport.pull(source, 0.05)
+            except TransportEmpty:
                 # only raise PeerCrashed when actually stuck: available
                 # messages are always drained first, so ranks whose answer
                 # already arrived make progress through a membership change
                 self._membership_check()
                 timeout -= 0.05
                 if timeout <= 0:
-                    raise TimeoutError(
+                    raise SimMPITimeout(
                         f"rank {self.rank} timed out receiving from {source} tag {tag}"
                     )
                 continue
@@ -462,7 +483,7 @@ class SimComm:
                 self._membership_check()
                 remaining -= 0.05
                 if remaining <= 0:
-                    raise TimeoutError(
+                    raise SimMPITimeout(
                         f"rank {self.rank} timed out receiving from {source} tag {tag}"
                     )
                 continue
@@ -579,11 +600,11 @@ class SimComm:
         return out
 
     def barrier(self) -> None:
-        if self._shared.abort.is_set():
+        if self._transport.aborted():
             raise SimMPIAborted("run aborted")
         if self._faults is not None:
             self._count_op()
-        self._shared.barrier.wait(timeout=_DEFAULT_TIMEOUT)
+        self._transport.barrier(_DEFAULT_TIMEOUT)
 
 
 def spmd_run(
@@ -593,6 +614,7 @@ def spmd_run(
     return_stats: bool = False,
     faults: FaultPlan = None,
     recover: bool = False,
+    transport: str = None,
     **kwargs,
 ):
     """Run ``fn(comm, *args, **kwargs)`` on ``size`` ranks.
@@ -600,6 +622,17 @@ def spmd_run(
     Returns the list of per-rank return values (plus the
     :class:`TrafficStats` if ``return_stats``).  The first rank exception is
     re-raised with its rank attached.
+
+    ``transport`` selects the wire backend: ``"thread"`` (the default —
+    one thread per rank, in-process queues) or ``"process"`` (one forked
+    process per rank over Unix sockets, for real multi-core wall-clock;
+    see :mod:`repro.runtime.transport`).  When omitted, the
+    ``REPRO_TRANSPORT`` environment variable decides.  Fault injection and
+    ``recover=True`` are thread-backend features: an environment
+    preference for the process backend falls back to threads, while an
+    explicit ``transport="process"`` with either active raises.  On the
+    process backend a rank process death surfaces as
+    :class:`~repro.runtime.transport.SimRankDied`, never a hang.
 
     ``faults`` activates the deterministic fault-injection wire of
     :mod:`repro.runtime.faults`; injected events land on
@@ -618,6 +651,8 @@ def spmd_run(
     """
     if size < 1:
         raise ValueError("need at least one rank")
+    if resolve_backend(transport, faults=faults, recover=recover) == "process":
+        return process_spmd_run(size, fn, args, kwargs, return_stats=return_stats)
     shared = _Shared(size, faults=faults, recover=recover)
     results = [None] * size
     errors = [None] * size

@@ -42,6 +42,31 @@ class TrafficStats:
     def total_bytes(self) -> int:
         return sum(self.bytes.values())
 
+    def as_dict(self) -> dict:
+        """Plain-container snapshot of the counters, suitable for shipping
+        across a process boundary (the process backend sends each worker's
+        ledger to the parent this way)."""
+        with self._lock:
+            return {
+                "messages": dict(self.messages),
+                "bytes": dict(self.bytes),
+                "by_pair": [
+                    [src, dst, n] for (src, dst), n in self.by_pair.items()
+                ],
+            }
+
+    def merge_dict(self, snap: dict) -> None:
+        """Fold one :meth:`as_dict` snapshot into these counters.  Merging
+        the per-process ledgers preserves the exactly-once rule: each
+        logical message was recorded once, on its sending rank."""
+        with self._lock:
+            for phase, n in snap["messages"].items():
+                self.messages[phase] += n
+            for phase, n in snap["bytes"].items():
+                self.bytes[phase] += n
+            for src, dst, n in snap["by_pair"]:
+                self.by_pair[(src, dst)] += n
+
     def phase_report(self) -> dict:
         """``{phase: (messages, bytes)}`` snapshot."""
         with self._lock:

@@ -70,6 +70,14 @@ class TestCommands:
         assert main(["pared", "--p", "2", "--n", "6", "--rounds", "2"]) == 0
         out = capsys.readouterr().out
         assert "PARED on 2 ranks" in out
+        assert "thread backend" in out
+        assert "P2:" in out
+
+    def test_pared_process_transport(self, capsys):
+        assert main(["pared", "--p", "2", "--n", "6", "--rounds", "1",
+                     "--transport", "process"]) == 0
+        out = capsys.readouterr().out
+        assert "process backend" in out
         assert "P2:" in out
 
     def test_render(self, capsys, tmp_path):

@@ -343,3 +343,43 @@ class TestDeltaTombstones:
         histories, _ = run_pared(cfg)
         leaf_trace = [rec["leaves"] for rec in histories[0]]
         assert leaf_trace[2] < leaf_trace[1], "ladder must actually coarsen"
+
+
+class TestTransportParity:
+    """One PARED run must be bit-identical across transport backends: the
+    algorithm is deterministic given the seed, and the process backend
+    changes only how bytes move between ranks — never what they say."""
+
+    @staticmethod
+    def _cfg(transport):
+        prob = CornerLaplace2D()
+
+        def marker(amesh, rnd):
+            ind = interpolation_error_indicator(amesh, prob.exact)
+            return mark_top_fraction(amesh, ind, 0.2), []
+
+        return ParedConfig(
+            p=3,
+            make_mesh=lambda: AdaptiveMesh.unit_square(8),
+            marker=marker,
+            rounds=2,
+            pnr=PNR(seed=0),
+            transport=transport,
+        )
+
+    def test_process_run_matches_thread_bit_for_bit(self):
+        hist_t, stats_t = run_pared(self._cfg("thread"))
+        hist_p, stats_p = run_pared(self._cfg("process"))
+        for per_rank_t, per_rank_p in zip(hist_t, hist_p):
+            for a, b in zip(per_rank_t, per_rank_p):
+                assert a["leaves"] == b["leaves"]
+                assert a["cut"] == b["cut"]
+                assert a["shared_vertices"] == b["shared_vertices"]
+                assert a["elements_moved"] == b["elements_moved"]
+                assert a["local_load"] == b["local_load"]
+                assert a["imbalance_before"] == b["imbalance_before"]
+                assert np.array_equal(a["owner"], b["owner"])
+        # the wire ledger is part of the contract too: same phases, same
+        # message and byte counts, same pair matrix
+        assert stats_t.phase_report() == stats_p.phase_report()
+        assert dict(stats_t.by_pair) == dict(stats_p.by_pair)

@@ -1,24 +1,52 @@
-"""Tests for the simulated message-passing runtime."""
+"""Transport conformance suite for the simulated message-passing runtime.
+
+Every semantic case runs on *both* backends — ``thread`` (in-process
+queues) and ``process`` (forked ranks over sockets) — through the
+``backend`` fixture, and the traffic-ledger cases assert byte-for-byte
+identical accounting across them.  A new transport earns its place by
+passing this file unchanged.
+"""
+
+import os
+import time
 
 import numpy as np
 import pytest
 
-from repro.runtime.simmpi import SimComm, SimMPIAborted, spmd_run
+from repro.runtime.simmpi import (
+    SimMPIAborted,
+    SimMPITimeout,
+    SimRankDied,
+    spmd_run,
+)
 from repro.runtime.stats import PhaseTimer, TrafficStats
+from repro.runtime.transport import resolve_backend
+
+BACKENDS = ("thread", "process")
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    """Both transport backends; every conformance case runs on each."""
+    return request.param
+
+
+def run(backend, size, fn, **kwargs):
+    return spmd_run(size, fn, transport=backend, **kwargs)
 
 
 class TestPointToPoint:
-    def test_send_recv(self):
+    def test_send_recv(self, backend):
         def prog(comm):
             if comm.rank == 0:
                 comm.send({"x": 1}, 1)
                 return None
             return comm.recv(0)
 
-        res = spmd_run(2, prog)
+        res = run(backend, 2, prog)
         assert res[1] == {"x": 1}
 
-    def test_tag_matching_out_of_order(self):
+    def test_tag_matching_out_of_order(self, backend):
         def prog(comm):
             if comm.rank == 0:
                 comm.send("first", 1, tag=1)
@@ -28,140 +56,271 @@ class TestPointToPoint:
             a = comm.recv(0, tag=1)
             return (a, b)
 
-        res = spmd_run(2, prog)
+        res = run(backend, 2, prog)
         assert res[1] == ("first", "second")
 
-    def test_per_pair_fifo(self):
+    def test_per_source_tag_fifo(self, backend):
+        """Messages with the same (source, tag) arrive in send order, and
+        order holds independently per tag stream."""
+
         def prog(comm):
             if comm.rank == 0:
                 for k in range(20):
-                    comm.send(k, 1, tag=0)
+                    comm.send(("a", k), 1, tag=0)
+                    comm.send(("b", k), 1, tag=7)
                 return None
-            return [comm.recv(0, tag=0) for _ in range(20)]
+            b_stream = [comm.recv(0, tag=7) for _ in range(20)]
+            a_stream = [comm.recv(0, tag=0) for _ in range(20)]
+            return a_stream, b_stream
 
-        res = spmd_run(2, prog)
-        assert res[1] == list(range(20))
+        a_stream, b_stream = run(backend, 2, prog)[1]
+        assert a_stream == [("a", k) for k in range(20)]
+        assert b_stream == [("b", k) for k in range(20)]
 
-    def test_numpy_payload(self):
+    def test_interleaved_sources(self, backend):
+        """Receives from distinct sources are independent: draining one
+        source never loses or reorders another's messages."""
+
+        def prog(comm):
+            if comm.rank < 2:
+                for k in range(10):
+                    comm.send((comm.rank, k), 2, tag=3)
+                return None
+            from_1 = [comm.recv(1, tag=3) for _ in range(10)]
+            from_0 = [comm.recv(0, tag=3) for _ in range(10)]
+            return from_0, from_1
+
+        from_0, from_1 = run(backend, 3, prog)[2]
+        assert from_0 == [(0, k) for k in range(10)]
+        assert from_1 == [(1, k) for k in range(10)]
+
+    def test_numpy_payload(self, backend):
         def prog(comm):
             if comm.rank == 0:
                 comm.send(np.arange(100), 1)
                 return None
             return comm.recv(0)
 
-        res = spmd_run(2, prog)
+        res = run(backend, 2, prog)
         assert np.array_equal(res[1], np.arange(100))
 
-    def test_invalid_dest(self):
+    def test_large_payload_exceeds_socket_buffer(self, backend):
+        """Multi-megabyte frames force partial reads (and, on the process
+        backend, blocked non-blocking sends) — reassembly must be exact."""
+        big = np.arange(1_000_000, dtype=np.int64)  # ~8 MB on the wire
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(big, 1, tag=4)
+                return None
+            got = comm.recv(0, tag=4)
+            return int(got[0]), int(got[-1]), got.shape[0]
+
+        res = run(backend, 2, prog)
+        assert res[1] == (0, 999_999, 1_000_000)
+
+    def test_send_to_self(self, backend):
+        def prog(comm):
+            comm.send(("loop", comm.rank), comm.rank, tag=9)
+            return comm.recv(comm.rank, tag=9)
+
+        assert run(backend, 2, prog) == [("loop", 0), ("loop", 1)]
+
+    def test_invalid_dest(self, backend):
         def prog(comm):
             comm.send(1, 99)
 
         with pytest.raises(RuntimeError):
-            spmd_run(2, prog)
-
-    def test_recv_timeout(self):
-        def prog(comm):
-            if comm.rank == 1:
-                comm.recv(0, timeout=0.2)
-
-        with pytest.raises(RuntimeError, match="timed out"):
-            spmd_run(2, prog)
+            run(backend, 2, prog)
 
 
 class TestCollectives:
-    def test_bcast(self):
+    def test_bcast(self, backend):
         def prog(comm):
             return comm.bcast("payload" if comm.rank == 0 else None, root=0)
 
-        assert spmd_run(3, prog) == ["payload"] * 3
+        assert run(backend, 3, prog) == ["payload"] * 3
 
-    def test_bcast_nonzero_root(self):
+    def test_bcast_nonzero_root(self, backend):
         def prog(comm):
             return comm.bcast(comm.rank if comm.rank == 2 else None, root=2)
 
-        assert spmd_run(4, prog) == [2, 2, 2, 2]
+        assert run(backend, 4, prog) == [2, 2, 2, 2]
 
-    def test_gather(self):
+    def test_bcast_rank_subset(self, backend):
+        def prog(comm):
+            group = [0, 2, 3]
+            if comm.rank in group:
+                return comm.bcast(
+                    "sub" if comm.rank == 0 else None, root=0, ranks=group
+                )
+            return "outside"
+
+        assert run(backend, 4, prog) == ["sub", "outside", "sub", "sub"]
+
+    def test_gather(self, backend):
         def prog(comm):
             return comm.gather(comm.rank * 10, root=1)
 
-        res = spmd_run(3, prog)
+        res = run(backend, 3, prog)
         assert res[1] == [0, 10, 20]
         assert res[0] is None and res[2] is None
 
-    def test_scatter(self):
+    def test_gather_rank_subset(self, backend):
+        def prog(comm):
+            group = [1, 3]
+            if comm.rank in group:
+                return comm.gather(comm.rank * 10, root=1, ranks=group)
+            return "outside"
+
+        res = run(backend, 4, prog)
+        assert res[1] == [10, 30]
+        assert res[0] == res[2] == "outside"
+        assert res[3] is None
+
+    def test_scatter(self, backend):
         def prog(comm):
             data = [f"r{i}" for i in range(comm.size)] if comm.rank == 0 else None
             return comm.scatter(data, root=0)
 
-        assert spmd_run(4, prog) == ["r0", "r1", "r2", "r3"]
+        assert run(backend, 4, prog) == ["r0", "r1", "r2", "r3"]
 
-    def test_scatter_wrong_length(self):
+    def test_scatter_wrong_length(self, backend):
         def prog(comm):
             comm.scatter([1] if comm.rank == 0 else None, root=0)
 
         with pytest.raises(RuntimeError):
-            spmd_run(2, prog)
+            run(backend, 2, prog)
 
-    def test_allgather(self):
+    def test_allgather(self, backend):
         def prog(comm):
             return comm.allgather(comm.rank**2)
 
-        assert spmd_run(4, prog) == [[0, 1, 4, 9]] * 4
+        assert run(backend, 4, prog) == [[0, 1, 4, 9]] * 4
 
-    def test_allreduce_default_sum(self):
+    def test_allgather_rank_subset(self, backend):
+        def prog(comm):
+            group = [0, 2]
+            if comm.rank in group:
+                return comm.allgather(comm.rank + 1, ranks=group)
+            return "outside"
+
+        res = run(backend, 3, prog)
+        assert res[0] == res[2] == [1, 3]
+        assert res[1] == "outside"
+
+    def test_allreduce_default_sum(self, backend):
         def prog(comm):
             return comm.allreduce(comm.rank + 1)
 
-        assert spmd_run(4, prog) == [10] * 4
+        assert run(backend, 4, prog) == [10] * 4
 
-    def test_allreduce_custom_op(self):
+    def test_allreduce_custom_op(self, backend):
         def prog(comm):
             return comm.allreduce(comm.rank, op=max)
 
-        assert spmd_run(5, prog) == [4] * 5
+        assert run(backend, 5, prog) == [4] * 5
 
-    def test_barrier(self):
-        import time
+    def test_alltoall(self, backend):
+        def prog(comm):
+            objs = [(comm.rank, dst) for dst in range(comm.size)]
+            return comm.alltoall(objs)
 
+        res = run(backend, 3, prog)
+        for dst, received in enumerate(res):
+            assert received == [(src, dst) for src in range(3)]
+
+    def test_barrier(self, backend):
         def prog(comm):
             if comm.rank == 0:
                 time.sleep(0.05)
             comm.barrier()
             return True
 
-        assert spmd_run(3, prog) == [True, True, True]
+        assert run(backend, 3, prog) == [True, True, True]
 
-    def test_single_rank(self):
+    def test_barrier_repeated(self, backend):
+        """Successive barriers must not confuse generations."""
+
+        def prog(comm):
+            for k in range(5):
+                if comm.rank == k % comm.size:
+                    time.sleep(0.01)
+                comm.barrier()
+            return True
+
+        assert run(backend, 3, prog) == [True] * 3
+
+    def test_single_rank(self, backend):
         def prog(comm):
             assert comm.allgather(5) == [5]
             assert comm.bcast(7, root=0) == 7
             comm.barrier()
             return "ok"
 
-        assert spmd_run(1, prog) == ["ok"]
+        assert run(backend, 1, prog) == ["ok"]
+
+
+class TestTimeouts:
+    """``recv(timeout=...)`` semantics must be uniform across backends:
+    same exception type (:class:`SimMPITimeout`, a :class:`TimeoutError`),
+    same message shape."""
+
+    @staticmethod
+    def _timeout_prog(comm):
+        if comm.rank == 1:
+            try:
+                comm.recv(0, tag=6, timeout=0.2)
+            except Exception as exc:  # noqa: BLE001 - capturing for assert
+                return type(exc).__name__, isinstance(exc, TimeoutError), str(exc)
+            return "no exception"
+        # keep rank 0 alive past rank 1's patience so the timeout is a
+        # missing *message*, not a vanished peer
+        time.sleep(0.5)
+        return None
+
+    def test_timeout_type_and_message(self, backend):
+        res = run(backend, 2, self._timeout_prog)
+        name, is_timeout, msg = res[1]
+        assert name == "SimMPITimeout"
+        assert is_timeout
+        assert msg == "rank 1 timed out receiving from 0 tag 6"
+
+    def test_timeout_identical_across_backends(self):
+        captured = {b: run(b, 2, self._timeout_prog)[1] for b in BACKENDS}
+        assert captured["thread"] == captured["process"]
+
+    def test_uncaught_timeout_propagates(self, backend):
+        def prog(comm):
+            if comm.rank == 1:
+                comm.recv(0, timeout=0.2)
+            else:
+                time.sleep(0.5)
+
+        with pytest.raises(RuntimeError, match="timed out"):
+            run(backend, 2, prog)
 
 
 class TestErrorsAndStats:
-    def test_exception_propagates_with_rank(self):
+    def test_exception_propagates_with_rank(self, backend):
         def prog(comm):
             if comm.rank == 2:
                 raise ValueError("boom")
             comm.barrier()
 
         with pytest.raises(RuntimeError, match="rank 2"):
-            spmd_run(4, prog)
+            run(backend, 4, prog)
 
-    def test_peer_recv_does_not_hang(self):
+    def test_peer_recv_does_not_hang(self, backend):
         def prog(comm):
             if comm.rank == 0:
                 raise ValueError("dead")
             comm.recv(0, timeout=30.0)
 
         with pytest.raises(RuntimeError, match="rank 0"):
-            spmd_run(2, prog)
+            run(backend, 2, prog)
 
-    def test_traffic_accounting(self):
+    def test_traffic_accounting(self, backend):
         def prog(comm):
             comm.set_phase("A")
             comm.allgather(comm.rank)
@@ -171,16 +330,163 @@ class TestErrorsAndStats:
             elif comm.rank == 1:
                 comm.recv(0)
 
-        _, stats = spmd_run(2, prog, return_stats=True)
+        _, stats = run(backend, 2, prog, return_stats=True)
         rep = stats.phase_report()
         assert rep["B"][0] == 1
         assert rep["A"][0] == 2  # gather to 0 + bcast back
         assert stats.total_bytes > 0
         assert stats.total_messages == 3
 
-    def test_needs_at_least_one_rank(self):
+    def test_needs_at_least_one_rank(self, backend):
         with pytest.raises(ValueError):
-            spmd_run(0, lambda comm: None)
+            run(backend, 0, lambda comm: None)
+
+
+class TestLedgerConformance:
+    """The exactly-once accounting rule — one record of ``len(frame)``
+    bytes per logical message, recorded on the sender — must produce
+    *identical* ledgers on every backend: same per-phase message and byte
+    counts, same per-pair counts.  Byte-count assertions and fault hooks
+    written against one backend then hold on all of them."""
+
+    @staticmethod
+    def _traffic_prog(comm):
+        comm.set_phase("P1")
+        comm.allgather(np.arange(50) + comm.rank, tag=11)
+        comm.set_phase("P2")
+        if comm.rank != 0:
+            comm.send({"v_ids": np.arange(10), "v_wts": np.ones(10)}, 0, tag=20)
+        else:
+            for src in range(1, comm.size):
+                comm.recv(src, tag=20)
+        comm.set_phase("P3")
+        payload = comm.bcast(
+            np.arange(comm.size) if comm.rank == 0 else None, root=0, tag=30
+        )
+        comm.barrier()  # barriers are control traffic: never on the ledger
+        return int(payload.sum())
+
+    def test_ledger_identical_across_backends(self):
+        runs = {
+            b: run(b, 3, self._traffic_prog, return_stats=True)
+            for b in BACKENDS
+        }
+        res_t, stats_t = runs["thread"]
+        res_p, stats_p = runs["process"]
+        assert res_t == res_p
+        assert stats_t.total_messages == stats_p.total_messages
+        assert stats_t.total_bytes == stats_p.total_bytes
+        assert stats_t.phase_report() == stats_p.phase_report()
+        assert dict(stats_t.by_pair) == dict(stats_p.by_pair)
+
+    def test_recorded_bytes_equal_frame_length(self, backend):
+        from repro.runtime.codec import encode
+
+        payload = {"e_keys": np.arange(100, dtype=np.int64), "w": 2.5}
+
+        def prog(comm):
+            comm.set_phase("P2")
+            if comm.rank == 0:
+                comm.send(payload, 1, tag=20)
+            else:
+                comm.recv(0, tag=20)
+
+        _, stats = run(backend, 2, prog, return_stats=True)
+        assert stats.total_messages == 1
+        assert stats.total_bytes == len(encode(payload))
+
+
+class TestProcessBackendOnly:
+    """Behaviour only the process backend can exhibit."""
+
+    def test_rank_process_death_is_clean(self):
+        """A rank's OS process dying mid-run surfaces as a typed
+        :class:`SimRankDied` in the caller — never a hang."""
+
+        def prog(comm):
+            if comm.rank == 1:
+                os._exit(13)
+            comm.recv(1, timeout=30.0)
+
+        t0 = time.monotonic()
+        with pytest.raises(SimRankDied, match="rank 1 process died"):
+            run("process", 3, prog)
+        assert time.monotonic() - t0 < 20.0
+
+    def test_rank_death_is_simmpiaborted_family(self):
+        assert issubclass(SimRankDied, SimMPIAborted)
+
+    def test_survivor_sees_clean_error(self):
+        """The peer blocked on the dead rank gets a SimMPIAborted-family
+        error from its receive, not a timeout or a hang."""
+
+        def prog(comm):
+            if comm.rank == 1:
+                os._exit(5)
+            try:
+                comm.recv(1, timeout=30.0)
+            except SimMPIAborted as exc:
+                return type(exc).__name__, str(exc)
+            return "no error"
+
+        with pytest.raises(SimRankDied):
+            run("process", 2, prog)
+
+    def test_results_cross_process_boundary(self):
+        """Rank return values (arbitrary picklable objects) survive the
+        trip back to the parent."""
+
+        def prog(comm):
+            return {"rank": comm.rank, "arr": np.full(3, comm.rank)}
+
+        res = run("process", 3, prog)
+        for r, item in enumerate(res):
+            assert item["rank"] == r
+            assert np.array_equal(item["arr"], np.full(3, r))
+
+    def test_perf_spans_merge_to_parent(self):
+        from repro.perf import PERF
+
+        def prog(comm):
+            comm.set_phase("P9")
+            comm.allgather(np.arange(10))
+            return True
+
+        PERF.reset()
+        run("process", 2, prog)
+        snap = PERF.snapshot()
+        assert any(name == "codec.encode.P9" for name in snap)
+
+
+class TestBackendSelection:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT", "process")
+        assert resolve_backend("thread") == "thread"
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT", "process")
+        assert resolve_backend(None) == "process"
+        monkeypatch.delenv("REPRO_TRANSPORT")
+        assert resolve_backend(None) == "thread"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            resolve_backend("carrier-pigeon")
+
+    def test_faults_force_thread_from_env(self, monkeypatch):
+        from repro.runtime.faults import FaultPlan
+
+        monkeypatch.setenv("REPRO_TRANSPORT", "process")
+        assert resolve_backend(None, faults=FaultPlan(seed=0)) == "thread"
+        assert resolve_backend(None, recover=True) == "thread"
+
+    def test_explicit_process_with_faults_raises(self):
+        from repro.runtime.faults import FaultPlan
+
+        with pytest.raises(ValueError, match="thread backend only"):
+            resolve_backend("process", faults=FaultPlan(seed=0))
+        with pytest.raises(ValueError, match="thread backend only"):
+            spmd_run(2, lambda comm: None, recover=True, transport="process")
 
 
 class TestStatsObjects:
@@ -193,9 +499,17 @@ class TestStatsObjects:
         s.reset()
         assert s.total_messages == 0
 
-    def test_phase_timer(self):
-        import time
+    def test_traffic_stats_merge_dict(self):
+        a, b = TrafficStats(), TrafficStats()
+        a.record(0, 1, 100, "P1")
+        b.record(1, 0, 50, "P1")
+        b.record(1, 2, 70, "P2")
+        a.merge_dict(b.as_dict())
+        assert a.total_messages == 3
+        assert a.bytes["P1"] == 150 and a.bytes["P2"] == 70
+        assert a.by_pair[(1, 0)] == 1 and a.by_pair[(1, 2)] == 1
 
+    def test_phase_timer(self):
         t = PhaseTimer()
         with t.phase("solve"):
             time.sleep(0.01)
