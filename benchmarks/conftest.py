@@ -21,7 +21,9 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
 def paper_scale() -> bool:
-    return os.environ.get("REPRO_PAPER_SCALE", "0") not in ("0", "", "false")
+    from repro.runtime.envflags import env_bool
+
+    return env_bool("REPRO_PAPER_SCALE", default=False)
 
 
 @pytest.fixture(scope="session")

@@ -248,6 +248,8 @@ def _cmd_pared(args) -> int:
         rounds=args.rounds,
         pnr=PNR(seed=args.seed),
         transport=args.transport,
+        partitioner=args.partitioner,
+        sfc_curve=args.sfc_curve,
     )
     histories, stats = run_pared(cfg)
     rows = [
@@ -255,12 +257,12 @@ def _cmd_pared(args) -> int:
          r["elements_moved"], r["trees_moved"], f"{r['imbalance_before']:.3f}")
         for r in histories[0]
     ]
-    from repro.runtime.transport import resolve_backend
-
-    backend = resolve_backend(args.transport)
+    backend = stats.backend  # resolved by spmd_run, recorded on the stats
     print(format_table(
         ["round", "leaves", "cut", "sharedV", "moved", "trees", "imb"],
-        rows, title=f"PARED on {args.p} ranks ({backend} backend)",
+        rows,
+        title=f"PARED on {args.p} ranks "
+              f"({backend} backend, {args.partitioner} partitioner)",
     ))
     for phase, (msgs, nbytes) in stats.phase_report().items():
         print(f"  {phase}: {msgs} messages, {nbytes} bytes")
@@ -371,6 +373,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--transport", choices=("thread", "process"), default=None,
         help="rank backend: threads (default) or one OS process per rank "
              "(real multi-core; also via REPRO_TRANSPORT)",
+    )
+    from repro.partition.registry import available_partitioners
+
+    pa.add_argument(
+        "--partitioner", choices=available_partitioners(), default="pnr",
+        help="coordinator repartitioning strategy: pnr (Equation-1 KL, "
+             "default), mlkl (scratch Multilevel-KL), or sfc "
+             "(space-filling-curve splitting)",
+    )
+    pa.add_argument(
+        "--sfc-curve", choices=("morton", "hilbert"), default="morton",
+        help="curve of the sfc partitioner",
     )
     pa.set_defaults(fn=_cmd_pared)
 

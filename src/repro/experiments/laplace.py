@@ -16,7 +16,7 @@ grid (12,482 triangles ≈ the paper's 12,498) and a 12³ grid (10,368 tets ≈
 
 from __future__ import annotations
 
-import os
+from repro.runtime.envflags import env_bool
 
 from repro.fem.estimate import (
     interpolation_error_indicator,
@@ -28,8 +28,10 @@ from repro.mesh.adapt import AdaptiveMesh
 
 
 def default_scale() -> bool:
-    """True when the environment requests paper-scale meshes."""
-    return os.environ.get("REPRO_PAPER_SCALE", "0") not in ("0", "", "false")
+    """True when the environment requests paper-scale meshes
+    (``REPRO_PAPER_SCALE``, parsed by :func:`repro.runtime.envflags
+    .env_bool` — ``False``/``no``/``0``/empty all read as false)."""
+    return env_bool("REPRO_PAPER_SCALE", default=False)
 
 
 _SCALES = {

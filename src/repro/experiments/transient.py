@@ -14,7 +14,6 @@ the elements moved (Figure 8).
 
 from __future__ import annotations
 
-import os
 
 import numpy as np
 
@@ -31,7 +30,9 @@ from repro.mesh.metrics import cut_size, shared_vertex_count, imbalance
 
 def transient_defaults(paper_scale: bool = None) -> dict:
     if paper_scale is None:
-        paper_scale = os.environ.get("REPRO_PAPER_SCALE", "0") not in ("0", "", "false")
+        from repro.experiments.laplace import default_scale
+
+        paper_scale = default_scale()
     if paper_scale:
         return {"n": 40, "steps": 100, "refine_tol": 2e-3, "coarsen_tol": 2e-4}
     return {"n": 20, "steps": 50, "refine_tol": 3e-3, "coarsen_tol": 3e-4}

@@ -23,7 +23,12 @@ from repro.mesh.forest import RefinementForest, LEAF, INTERIOR, INACTIVE
 from repro.mesh.mesh2d import TriMesh
 from repro.mesh.mesh3d import TetMesh
 from repro.mesh.adapt import AdaptiveMesh
-from repro.mesh.dualgraph import coarse_dual_graph, fine_dual_graph, leaf_assignment_from_roots
+from repro.mesh.dualgraph import (
+    coarse_dual_graph,
+    coarse_root_centroids,
+    fine_dual_graph,
+    leaf_assignment_from_roots,
+)
 from repro.mesh.io import (
     load_checkpoint,
     load_npz,
@@ -52,6 +57,7 @@ __all__ = [
     "TetMesh",
     "AdaptiveMesh",
     "coarse_dual_graph",
+    "coarse_root_centroids",
     "fine_dual_graph",
     "leaf_assignment_from_roots",
     "shared_vertex_count",

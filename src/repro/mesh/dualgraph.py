@@ -110,6 +110,14 @@ def coarse_dual_graph(mesh) -> WeightedGraph:
     return graph
 
 
+def coarse_root_centroids(mesh) -> np.ndarray:
+    """``(n_roots, dim)`` centroids of the coarse elements of ``M^0`` —
+    the geometric substrate of the SFC partitioner.  Roots are elements
+    ``0..n_roots-1`` of the forest and never move, so this is constant for
+    the lifetime of a mesh."""
+    return mesh.verts[mesh.cells[: mesh.n_roots]].mean(axis=1)
+
+
 def leaf_assignment_from_roots(mesh, coarse_assignment: np.ndarray) -> np.ndarray:
     """Induce a fine partition of ``M^t`` from a partition of the coarse dual
     graph: each leaf goes where its refinement tree's root goes (PNR migrates

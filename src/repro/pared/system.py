@@ -36,10 +36,13 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.core.pnr import PNR
-from repro.core.repartition_kl import multilevel_repartition
 from repro.graph.csr import WeightedGraph
 from repro.mesh.adapt import AdaptiveMesh
-from repro.mesh.dualgraph import coarse_dual_graph, leaf_assignment_from_roots
+from repro.mesh.dualgraph import (
+    coarse_dual_graph,
+    coarse_root_centroids,
+    leaf_assignment_from_roots,
+)
 from repro.mesh.metrics import cut_size, shared_vertex_count
 from repro.pared.distmesh import DistributedMesh
 from repro.pared.migrate import execute_migration, plan_recovery_assignment
@@ -49,7 +52,7 @@ from repro.pared.weights import (
     merge_fresh_values,
     split_edge_keys,
 )
-from repro.partition.multilevel import multilevel_partition
+from repro.partition.registry import make_repartitioner
 from repro.perf import PERF
 from repro.runtime.faults import FaultPlan
 from repro.runtime.recovery import (
@@ -125,6 +128,16 @@ class ParedConfig:
         wall-clock), or ``None`` to defer to the ``REPRO_TRANSPORT``
         environment variable.  ``faults``/``recover`` require the thread
         backend (see :func:`~repro.runtime.transport.resolve_backend`).
+    partitioner:
+        Coordinator repartitioning strategy by registry name
+        (:data:`repro.partition.PARTITIONERS`): ``"pnr"`` (default — the
+        paper's Equation-1 multilevel KL), ``"mlkl"`` (scratch
+        Multilevel-KL, label-aligned), or ``"sfc"`` (Morton/Hilbert
+        space-filling-curve splitting of the coarse-root centroids —
+        O(n log n), incremental, the cheap high-throughput baseline).
+    sfc_curve:
+        Curve of the ``sfc`` strategy: ``"morton"`` (default) or
+        ``"hilbert"``.  Ignored by the graph-based strategies.
     """
 
     p: int
@@ -138,6 +151,8 @@ class ParedConfig:
     audit: bool = False
     recover: bool = False
     transport: Optional[str] = None
+    partitioner: str = "pnr"
+    sfc_curve: str = "morton"
 
 
 class _CoordinatorGraph:
@@ -211,6 +226,11 @@ class _RankState:
     prev_full: Optional[dict]
     history: list
     coordinator: int
+    #: the coordinator's repartitioning strategy (None on other ranks);
+    #: carries the sfc curve-order cache across rounds
+    repart: Optional[object] = None
+    #: coarse-root centroids (coordinator only; static for the run)
+    root_coords: Optional[np.ndarray] = None
 
 
 def _pared_setup(comm, cfg: ParedConfig, live) -> _RankState:
@@ -222,13 +242,18 @@ def _pared_setup(comm, cfg: ParedConfig, live) -> _RankState:
     # initial partition at the coordinator (the mesh "is loaded into P_C")
     comm.set_phase("P3")
     group = live if len(live) < comm.size else None
+    repart = root_coords = None
     if comm.rank == C:
+        repart = make_repartitioner(
+            cfg.partitioner, pnr=cfg.pnr, curve=cfg.sfc_curve
+        )
+        root_coords = coarse_root_centroids(amesh.mesh)
         graph0 = coarse_dual_graph(amesh.mesh)
         if group is None:
-            owner0 = multilevel_partition(graph0, comm.size, seed=cfg.pnr.seed)
+            owner0 = repart.initial(graph0, comm.size, coords=root_coords)
         else:
             owner0 = expand_owner(
-                multilevel_partition(graph0, len(live), seed=cfg.pnr.seed), live
+                repart.initial(graph0, len(live), coords=root_coords), live
             )
     else:
         owner0 = None
@@ -242,6 +267,8 @@ def _pared_setup(comm, cfg: ParedConfig, live) -> _RankState:
         prev_full=None,
         history=[],
         coordinator=C,
+        repart=repart,
+        root_coords=root_coords,
     )
 
 
@@ -291,25 +318,16 @@ def _pared_round(comm, cfg: ParedConfig, st: _RankState, rnd: int) -> None:
         imb = float(live_loads.max() / mean - 1.0) if mean else 0.0
         if imb > cfg.imbalance_trigger:
             if len(live) == comm.size:
-                new_owner = multilevel_repartition(
-                    graph,
-                    comm.size,
-                    dmesh.owner,
-                    alpha=cfg.pnr.alpha,
-                    beta=cfg.pnr.beta,
-                    seed=cfg.pnr.seed,
-                    balance_tol=cfg.pnr.balance_tol,
+                new_owner = st.repart.repartition(
+                    graph, comm.size, dmesh.owner, coords=st.root_coords
                 )
             else:
                 new_owner = expand_owner(
-                    multilevel_repartition(
+                    st.repart.repartition(
                         graph,
                         len(live),
                         compact_owner(dmesh.owner, live),
-                        alpha=cfg.pnr.alpha,
-                        beta=cfg.pnr.beta,
-                        seed=cfg.pnr.seed,
-                        balance_tol=cfg.pnr.balance_tol,
+                        coords=st.root_coords,
                     ),
                     live,
                 )
@@ -342,7 +360,10 @@ def _pared_round(comm, cfg: ParedConfig, st: _RankState, rnd: int) -> None:
             # messages — auditing it against a brute-force recount
             # verifies the distributed weight protocol end to end
             check_dual_graph_weights(amesh.mesh, graph)
-            if imb > cfg.imbalance_trigger:
+            # the monotone-or-rollback invariant is a property of the
+            # Equation-1 KL engine; the mlkl/sfc strategies optimize
+            # other objectives and are checked by validity/balance alone
+            if imb > cfg.imbalance_trigger and cfg.partitioner == "pnr":
                 if len(live) == comm.size:
                     check_monotone_refinement(
                         graph, comm.size, old_owner, dmesh.owner,
@@ -464,6 +485,14 @@ def _recover(comm, cfg: ParedConfig, store: CheckpointStore, flush_seen: dict):
     if cfg.audit:
         check_replica_agreement(comm, dmesh.owner, ranks=live)
 
+    repart = root_coords = None
+    if comm.rank == C:
+        # a fresh strategy object: the sfc curve-order cache rebuilds
+        # deterministically from the replica's (static) root centroids
+        repart = make_repartitioner(
+            cfg.partitioner, pnr=cfg.pnr, curve=cfg.sfc_curve
+        )
+        root_coords = coarse_root_centroids(ckpt.amesh.mesh)
     st = _RankState(
         amesh=ckpt.amesh,
         dmesh=dmesh,
@@ -471,6 +500,8 @@ def _recover(comm, cfg: ParedConfig, store: CheckpointStore, flush_seen: dict):
         prev_full=prev_full,
         history=ckpt.history,
         coordinator=C,
+        repart=repart,
+        root_coords=root_coords,
     )
     st.history.append(
         {

@@ -23,15 +23,18 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.core.pnr import PNR
-from repro.core.repartition_kl import multilevel_repartition
 from repro.fem.estimate import gradient_jump_indicator
 from repro.mesh.adapt import AdaptiveMesh
-from repro.mesh.dualgraph import coarse_dual_graph, leaf_assignment_from_roots
+from repro.mesh.dualgraph import (
+    coarse_dual_graph,
+    coarse_root_centroids,
+    leaf_assignment_from_roots,
+)
 from repro.mesh.metrics import cut_size, shared_vertex_count
 from repro.pared.distmesh import DistributedMesh
 from repro.pared.migrate import execute_migration
 from repro.pared.solver import DistributedPoissonSolver
-from repro.partition.multilevel import multilevel_partition
+from repro.partition.registry import make_repartitioner
 from repro.runtime.faults import FaultPlan
 from repro.runtime.simmpi import spmd_run
 from repro.testing import (
@@ -45,12 +48,14 @@ from repro.testing import (
 class WorkflowConfig:
     """Configuration of the solve-driven PARED loop.
 
-    ``faults``, ``audit`` and ``transport`` mirror
-    :class:`~repro.pared.system.ParedConfig`: the first injects a seeded
-    :class:`~repro.runtime.faults.FaultPlan` into the wire, the second runs
-    the :mod:`repro.testing` invariant checks at the end of every round,
-    and the third selects the rank backend (``"thread"``/``"process"``,
-    ``None`` defers to ``REPRO_TRANSPORT``).
+    ``faults``, ``audit``, ``transport``, ``partitioner`` and ``sfc_curve``
+    mirror :class:`~repro.pared.system.ParedConfig`: the first injects a
+    seeded :class:`~repro.runtime.faults.FaultPlan` into the wire, the
+    second runs the :mod:`repro.testing` invariant checks at the end of
+    every round, the third selects the rank backend
+    (``"thread"``/``"process"``, ``None`` defers to ``REPRO_TRANSPORT``),
+    and the last two select the coordinator's repartitioning strategy from
+    the registry (``"pnr"``/``"mlkl"``/``"sfc"``).
     """
 
     p: int
@@ -65,6 +70,8 @@ class WorkflowConfig:
     faults: Optional[FaultPlan] = None
     audit: bool = False
     transport: Optional[str] = None
+    partitioner: str = "pnr"
+    sfc_curve: str = "morton"
 
 
 def _workflow_rank(comm, cfg: WorkflowConfig):
@@ -72,9 +79,14 @@ def _workflow_rank(comm, cfg: WorkflowConfig):
     amesh = cfg.make_mesh()
 
     comm.set_phase("P3")
+    repart = root_coords = None
     if comm.rank == C:
-        owner0 = multilevel_partition(
-            coarse_dual_graph(amesh.mesh), comm.size, seed=cfg.pnr.seed
+        repart = make_repartitioner(
+            cfg.partitioner, pnr=cfg.pnr, curve=cfg.sfc_curve
+        )
+        root_coords = coarse_root_centroids(amesh.mesh)
+        owner0 = repart.initial(
+            coarse_dual_graph(amesh.mesh), comm.size, coords=root_coords
         )
     else:
         owner0 = None
@@ -131,10 +143,8 @@ def _workflow_rank(comm, cfg: WorkflowConfig):
             mean = loads.sum() / comm.size
             imb = float(loads.max() / mean - 1.0) if mean else 0.0
             if imb > cfg.imbalance_trigger:
-                new_owner = multilevel_repartition(
-                    graph, comm.size, dmesh.owner,
-                    alpha=cfg.pnr.alpha, beta=cfg.pnr.beta, seed=cfg.pnr.seed,
-                    balance_tol=cfg.pnr.balance_tol,
+                new_owner = repart.repartition(
+                    graph, comm.size, dmesh.owner, coords=root_coords
                 )
             else:
                 new_owner = dmesh.owner.copy()

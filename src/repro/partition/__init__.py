@@ -10,10 +10,18 @@ The *standard* partitioning algorithms the paper compares against:
 * :func:`~repro.partition.geometric.recursive_coordinate_bisection` —
   geometric baseline [Miller et al. 1993].
 
-Plus the pieces they share: the p-way Kernighan–Lin refinement engine
+Plus the high-throughput geometric baseline:
+
+* :func:`~repro.partition.sfc.sfc_partition` — Morton/Hilbert
+  space-filling-curve splitting of element centroids, O(n log n) and
+  incrementally re-splittable (:class:`~repro.partition.sfc.SFCPartitioner`).
+
+And the pieces they share: the p-way Kernighan–Lin refinement engine
 (:mod:`repro.partition.kl`, also the host of PNR's modified gain function),
 greedy graph growing for coarsest-level partitions, the Biswas–Oliker
-subset permutation that minimizes data movement [5], and partition metrics.
+subset permutation that minimizes data movement [5], partition metrics, and
+the named repartitioner registry (:mod:`repro.partition.registry`:
+``pnr``/``mlkl``/``sfc``) the PARED drivers and CLI select strategies from.
 """
 
 from repro.partition.metrics import (
@@ -25,6 +33,20 @@ from repro.partition.metrics import (
     validate_assignment,
 )
 from repro.partition.kl import KLConfig, kl_refine
+from repro.partition.registry import (
+    PARTITIONERS,
+    available_partitioners,
+    make_repartitioner,
+)
+from repro.partition.sfc import (
+    SFCPartitioner,
+    hilbert_keys_from_quantized,
+    morton_keys_from_quantized,
+    quantize_coords,
+    sfc_keys,
+    sfc_partition,
+    weighted_curve_splits,
+)
 from repro.partition.spectral import recursive_spectral_bisection, spectral_bisect
 from repro.partition.geometric import recursive_coordinate_bisection
 from repro.partition.greedy import greedy_graph_growing
@@ -46,6 +68,16 @@ __all__ = [
     "validate_assignment",
     "KLConfig",
     "kl_refine",
+    "PARTITIONERS",
+    "available_partitioners",
+    "make_repartitioner",
+    "SFCPartitioner",
+    "hilbert_keys_from_quantized",
+    "morton_keys_from_quantized",
+    "quantize_coords",
+    "sfc_keys",
+    "sfc_partition",
+    "weighted_curve_splits",
     "recursive_spectral_bisection",
     "spectral_bisect",
     "recursive_coordinate_bisection",

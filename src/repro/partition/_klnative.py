@@ -31,12 +31,14 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.runtime.envflags import env_bool
+
 _SRC = Path(__file__).with_name("_klcore.c")
 _CFLAGS = ["-O2", "-fPIC", "-shared", "-fno-fast-math"]
 _LOCK = threading.Lock()
 _LIB = None
 _TRIED = False
-_DISABLED = os.environ.get("REPRO_KL_NATIVE", "1") in ("0", "false", "no")
+_DISABLED = not env_bool("REPRO_KL_NATIVE", default=True)
 
 _DUMMY_I64 = np.zeros(1, dtype=np.int64)  # stands in for hom when alpha == 0
 

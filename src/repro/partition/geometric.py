@@ -55,7 +55,16 @@ def recursive_coordinate_bisection(
         order = np.argsort(pts[:, axis], kind="stable")
         wsum = np.cumsum(weights[idx][order])
         total = wsum[-1]
-        k = int(np.searchsorted(wsum, (p0 / parts) * total, side="left"))
+        if not np.isfinite(total) or total <= 0.0:
+            # degenerate weights (all-zero, NaN/inf): count-proportional
+            # split in index order keeps the recursion balanced
+            k = (p0 * idx.size) // parts - 1
+        else:
+            k = int(np.searchsorted(wsum, (p0 / parts) * total, side="left"))
+        # left recurses with p0 parts on k+1 points, right with p1 on the
+        # rest; keeping each side at least as large as its part count
+        # guarantees non-empty parts whenever n >= p
+        k = min(max(k, p0 - 1), idx.size - p1 - 1)
         k = min(max(k, 0), idx.size - 2)
         left = idx[order[: k + 1]]
         right = idx[order[k + 1 :]]

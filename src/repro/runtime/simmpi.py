@@ -654,6 +654,7 @@ def spmd_run(
     if resolve_backend(transport, faults=faults, recover=recover) == "process":
         return process_spmd_run(size, fn, args, kwargs, return_stats=return_stats)
     shared = _Shared(size, faults=faults, recover=recover)
+    shared.stats.backend = "thread"
     results = [None] * size
     errors = [None] * size
     deaths = (SimRankCrashed, FaultToleranceExhausted)

@@ -27,6 +27,10 @@ class TrafficStats:
         #: set by run_pared: the repro.perf snapshot of the run —
         #: ``{span name: (calls, seconds)}``, all ranks aggregated
         self.kernel_perf = None
+        #: set by spmd_run: the transport backend the run actually used
+        #: (``"thread"``/``"process"``) — assert this, not the config,
+        #: when a test must know which wire it exercised
+        self.backend = None
 
     def record(self, src: int, dst: int, nbytes: int, phase: str) -> None:
         with self._lock:

@@ -48,14 +48,16 @@ process backend keeps the threaded wire's unbounded-buffer semantics.
 
 from __future__ import annotations
 
-import os
 import queue
 import selectors
 import socket
 import struct
 import threading
 import time
+import warnings
 from collections import deque
+
+from repro.runtime.envflags import env_choice
 
 __all__ = [
     "HEADER",
@@ -104,18 +106,32 @@ class TransportEmpty(Exception):
     """No message arrived within the pull slice (internal signal)."""
 
 
+#: one-shot latch of the quiet process→thread fallback warning: CI logs
+#: need the notice once, not once per spmd_run of a fault suite
+_FALLBACK_WARNED = False
+
+
 def resolve_backend(explicit=None, faults=None, recover: bool = False) -> str:
     """Resolve the transport backend name for one ``spmd_run``.
 
     ``explicit`` (the ``transport=`` argument) wins; otherwise the
     ``REPRO_TRANSPORT`` environment variable; otherwise ``"thread"``.
     Fault injection and crash recovery are thread-backend features: with
-    either active an *environment* preference for ``"process"`` quietly
-    falls back to ``"thread"`` (so fault suites run unchanged under
-    ``REPRO_TRANSPORT=process``), while an *explicit* ``transport=
+    either active an *environment* preference for ``"process"`` falls back
+    to ``"thread"`` (so fault suites run unchanged under
+    ``REPRO_TRANSPORT=process``) with a one-shot ``RuntimeWarning`` — a CI
+    matrix leg must be able to see in its log that a run it believed was
+    exercising the process backend was not.  An *explicit* ``transport=
     "process"`` raises — the caller asked for an unsupported combination.
+
+    The backend actually used is also recorded on the run's
+    ``TrafficStats`` as ``stats.backend``, so tests can assert it rather
+    than trust the configuration.
     """
-    name = explicit or os.environ.get("REPRO_TRANSPORT") or "thread"
+    global _FALLBACK_WARNED
+    name = explicit or env_choice(
+        "REPRO_TRANSPORT", ("thread", "process"), default="thread"
+    )
     if name not in ("thread", "process"):
         raise ValueError(
             f"unknown transport {name!r} (expected 'thread' or 'process')"
@@ -126,6 +142,16 @@ def resolve_backend(explicit=None, faults=None, recover: bool = False) -> str:
                 "fault injection and crash recovery run on the thread "
                 "backend only; drop transport='process' or the "
                 "faults/recover options"
+            )
+        if not _FALLBACK_WARNED:
+            _FALLBACK_WARNED = True
+            reason = "fault injection" if faults is not None else "crash recovery"
+            warnings.warn(
+                f"REPRO_TRANSPORT=process ignored: {reason} requires the "
+                "thread backend; this run (and any later ones this "
+                "process) falls back to transport='thread'",
+                RuntimeWarning,
+                stacklevel=2,
             )
         return "thread"
     return name
@@ -485,6 +511,7 @@ def process_spmd_run(size, fn, args, kwargs, return_stats=False):
     deaths = []  # parent-detected process deaths: the root cause wins
     asm = [FrameAssembler() for _ in range(size)]
     stats = TrafficStats()
+    stats.backend = "process"
 
     def abort_all() -> None:
         for r, pe in enumerate(parent_ends):

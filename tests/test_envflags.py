@@ -1,0 +1,91 @@
+"""Tests for the shared environment-flag parser
+(:mod:`repro.runtime.envflags`).
+
+The regression that motivated it: ``REPRO_PAPER_SCALE=False`` used to read
+as *true* (any non-empty string except ``"0"``/``"false"``), silently
+switching benches to paper scale.  Every consumer now goes through
+``env_bool``/``env_choice``, which accept the conventional spellings
+case-insensitively and *reject* anything else instead of guessing.
+"""
+
+import pytest
+
+from repro.runtime.envflags import FALSEY, TRUTHY, env_bool, env_choice
+
+VAR = "REPRO_TEST_FLAG"
+
+
+class TestEnvBool:
+    @pytest.mark.parametrize("value", ["False", "FALSE", "false", "0", "no", "No", "off"])
+    def test_falsey_spellings(self, monkeypatch, value):
+        monkeypatch.setenv(VAR, value)
+        assert env_bool(VAR, default=True) is False
+
+    def test_empty_means_unset(self, monkeypatch):
+        monkeypatch.setenv(VAR, "")
+        assert env_bool(VAR, default=True) is True
+        assert env_bool(VAR, default=False) is False
+
+    @pytest.mark.parametrize("value", ["1", "true", "True", "TRUE", "yes", "YES", "on", "On"])
+    def test_truthy_spellings(self, monkeypatch, value):
+        monkeypatch.setenv(VAR, value)
+        assert env_bool(VAR, default=False) is True
+
+    def test_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv(VAR, raising=False)
+        assert env_bool(VAR, default=False) is False
+        assert env_bool(VAR, default=True) is True
+
+    def test_unknown_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(VAR, "maybe")
+        with pytest.raises(ValueError, match=VAR):
+            env_bool(VAR)
+
+    def test_whitespace_tolerated(self, monkeypatch):
+        monkeypatch.setenv(VAR, " 1 ")
+        assert env_bool(VAR, default=False) is True
+
+    def test_spelling_sets_disjoint(self):
+        assert not (set(TRUTHY) & set(FALSEY))
+
+
+class TestEnvChoice:
+    def test_canonicalizes_case(self, monkeypatch):
+        monkeypatch.setenv(VAR, "Process")
+        assert env_choice(VAR, ("thread", "process")) == "process"
+
+    def test_unset_and_empty_use_default(self, monkeypatch):
+        monkeypatch.delenv(VAR, raising=False)
+        assert env_choice(VAR, ("a", "b"), default="a") == "a"
+        assert env_choice(VAR, ("a", "b")) is None
+        monkeypatch.setenv(VAR, "")
+        assert env_choice(VAR, ("a", "b"), default="b") == "b"
+
+    def test_unknown_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(VAR, "carrier-pigeon")
+        with pytest.raises(ValueError, match=VAR):
+            env_choice(VAR, ("thread", "process"))
+
+
+class TestPaperScaleRegression:
+    """``REPRO_PAPER_SCALE=False`` must select *reduced* scale — the
+    original bug read it as true."""
+
+    @pytest.mark.parametrize("value,expected", [
+        ("False", False), ("FALSE", False), ("0", False), ("no", False),
+        ("", False), ("1", True), ("true", True),
+    ])
+    def test_default_scale(self, monkeypatch, value, expected):
+        from repro.experiments.laplace import default_scale
+
+        monkeypatch.setenv("REPRO_PAPER_SCALE", value)
+        assert default_scale() is expected
+
+    def test_transient_defaults_follow_scale(self, monkeypatch):
+        from repro.experiments.transient import transient_defaults
+
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "False")
+        assert transient_defaults()["steps"] == 50  # reduced scale
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "bogus")
+        with pytest.raises(ValueError, match="REPRO_PAPER_SCALE"):
+            transient_defaults()

@@ -201,6 +201,36 @@ class TestFullLoop:
         report = stats.phase_report()
         assert report.get("P2", (0, 0))[0] >= 3 * 2  # 2 senders x 3 rounds
 
+    @pytest.mark.parametrize("partitioner", ["mlkl", "sfc"])
+    def test_run_pared_alternate_partitioners(self, partitioner):
+        """The full P0–P3 loop works with every registry strategy, not just
+        the default pnr path."""
+        prob = CornerLaplace2D()
+
+        def marker(amesh, rnd):
+            ind = interpolation_error_indicator(amesh, prob.exact)
+            return mark_top_fraction(amesh, ind, 0.2), []
+
+        cfg = ParedConfig(
+            p=3,
+            make_mesh=lambda: AdaptiveMesh.unit_square(8),
+            marker=marker,
+            rounds=3,
+            pnr=PNR(seed=0),
+            partitioner=partitioner,
+        )
+        histories, _ = run_pared(cfg)
+        assert len(histories) == 3
+        for other in histories[1:]:
+            for a, b in zip(histories[0], other):
+                assert np.array_equal(a["owner"], b["owner"])
+        for rnd in range(3):
+            loads = [h[rnd]["local_load"] for h in histories]
+            assert sum(loads) == histories[0][rnd]["leaves"]
+        final = histories[0][-1]
+        loads = [h[-1]["local_load"] for h in histories]
+        assert max(loads) / (final["leaves"] / cfg.p) - 1 < 0.8
+
     def test_marker_with_coarsening(self):
         from repro.fem import MovingPeakPoisson2D, mark_under_threshold
 

@@ -1,4 +1,5 @@
-"""Tests for RSB, geometric RCB, greedy growing and Multilevel-KL."""
+"""Tests for RSB, geometric RCB, greedy growing, Multilevel-KL and the
+named repartitioner registry (pnr / mlkl / sfc)."""
 
 import numpy as np
 import pytest
@@ -7,9 +8,11 @@ from hypothesis import strategies as st
 
 from repro.graph.csr import WeightedGraph
 from repro.partition import (
+    available_partitioners,
     graph_cut,
     graph_imbalance,
     greedy_graph_growing,
+    make_repartitioner,
     multilevel_partition,
     recursive_coordinate_bisection,
     recursive_spectral_bisection,
@@ -114,6 +117,37 @@ class TestGeometric:
         with pytest.raises(ValueError):
             recursive_coordinate_bisection(np.zeros((3, 2)), None, 0)
 
+    def test_zero_weights_still_fill_every_part(self):
+        """All-zero weights used to collapse the median to one side and
+        leave parts empty; the count-proportional fallback keeps every
+        part populated whenever n >= p."""
+        pts = np.column_stack([np.arange(8.0), np.zeros(8)])
+        a = recursive_coordinate_bisection(pts, np.zeros(8), 8)
+        assert np.bincount(a, minlength=8).min() == 1
+
+    def test_nan_weights_fall_back_to_counts(self):
+        pts = np.random.default_rng(2).uniform(0, 1, (12, 2))
+        w = np.ones(12)
+        w[3] = np.nan
+        a = recursive_coordinate_bisection(pts, w, 4)
+        assert np.bincount(a, minlength=4).min() > 0
+
+    def test_n_equals_p_one_point_each(self):
+        pts = np.random.default_rng(3).uniform(0, 1, (5, 3))
+        a = recursive_coordinate_bisection(pts, None, 5)
+        assert sorted(a) == [0, 1, 2, 3, 4]
+
+    def test_skewed_weight_never_empties_a_part(self):
+        pts = np.column_stack([np.arange(6.0), np.zeros(6)])
+        w = np.array([100.0, 1, 1, 1, 1, 1])
+        a = recursive_coordinate_bisection(pts, w, 3)
+        assert np.bincount(a, minlength=3).min() > 0
+
+    def test_coincident_points(self):
+        pts = np.ones((8, 2))
+        a = recursive_coordinate_bisection(pts, None, 4)
+        assert np.bincount(a, minlength=4).min() > 0
+
 
 class TestGreedy:
     def test_all_assigned(self, grid_graph):
@@ -169,3 +203,91 @@ def test_rsb_covers_all_labels(p, seed):
     g = grid(8)
     a = recursive_spectral_bisection(g, p, seed=seed)
     assert set(np.unique(a)) == set(range(p))
+
+
+# ---------------------------------------------------------------------- #
+# the named repartitioner registry (pnr / mlkl / sfc)
+# ---------------------------------------------------------------------- #
+
+
+def grid_with_coords(n, vweights=None):
+    """The ``grid`` graph plus the (i, j) centroid of every vertex — what
+    the PARED coordinator hands a strategy: coarse dual graph + root
+    centroids."""
+    g = grid(n, vweights=vweights)
+    ij = np.indices((n, n)).reshape(2, -1).T.astype(np.float64)
+    return g, ij
+
+
+class TestRegistry:
+    P = 4
+
+    def test_names(self):
+        assert available_partitioners() == ("pnr", "mlkl", "sfc")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            make_repartitioner("metis")
+
+    @pytest.mark.parametrize("name", ("pnr", "mlkl", "sfc"))
+    def test_initial_conformance(self, name):
+        g, coords = grid_with_coords(8)
+        a = make_repartitioner(name).initial(g, self.P, coords=coords)
+        validate_assignment(g, a, self.P)
+        assert set(np.unique(a)) == set(range(self.P))
+        assert graph_imbalance(g, a, self.P) < 0.35
+
+    @pytest.mark.parametrize("name", ("pnr", "mlkl", "sfc"))
+    def test_repartition_conformance(self, name):
+        # weights skewed toward one corner, as after local refinement
+        vw = np.ones(64)
+        vw[:16] = 5.0
+        g, coords = grid_with_coords(8, vweights=vw)
+        r = make_repartitioner(name)
+        a0 = r.initial(g, self.P, coords=coords)
+        a1 = r.repartition(g, self.P, a0, coords=coords)
+        validate_assignment(g, a1, self.P)
+        assert set(np.unique(a1)) == set(range(self.P))
+        assert graph_imbalance(g, a1, self.P) < 0.35
+
+    @pytest.mark.parametrize("name", ("pnr", "mlkl", "sfc"))
+    def test_deterministic(self, name):
+        g, coords = grid_with_coords(8)
+        runs = []
+        for _ in range(2):
+            r = make_repartitioner(name)
+            a0 = r.initial(g, self.P, coords=coords)
+            runs.append(r.repartition(g, self.P, a0, coords=coords))
+        assert np.array_equal(runs[0], runs[1])
+
+    @pytest.mark.parametrize("curve", ("morton", "hilbert"))
+    def test_sfc_curve_selection(self, curve):
+        g, coords = grid_with_coords(8)
+        r = make_repartitioner("sfc", curve=curve)
+        a = r.initial(g, self.P, coords=coords)
+        validate_assignment(g, a, self.P)
+
+    def test_sfc_requires_coords(self):
+        g, _ = grid_with_coords(8)
+        with pytest.raises(ValueError, match="coords"):
+            make_repartitioner("sfc").initial(g, self.P)
+
+    def test_sfc_repartition_reuses_curve_order(self):
+        """The curve is fitted once; a weight change only slides cuts, so
+        most vertices keep their part between rounds."""
+        g0, coords = grid_with_coords(8)
+        r = make_repartitioner("sfc")
+        a0 = r.initial(g0, self.P, coords=coords)
+        vw = np.ones(64)
+        vw[:8] = 4.0
+        g1 = grid(8, vweights=vw)
+        a1 = r.repartition(g1, self.P, a0, coords=coords)
+        assert np.count_nonzero(a0 != a1) < 32
+
+    def test_pnr_initial_matches_legacy_bootstrap(self):
+        """The pnr strategy's first partition must be bit-identical to the
+        historical direct ``multilevel_partition(graph, p, seed=seed)``
+        call — the golden PARED metrics pin that path."""
+        g, coords = grid_with_coords(8)
+        a = make_repartitioner("pnr").initial(g, self.P, coords=coords)
+        assert np.array_equal(a, multilevel_partition(g, self.P, seed=0))

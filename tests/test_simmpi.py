@@ -336,6 +336,8 @@ class TestErrorsAndStats:
         assert rep["A"][0] == 2  # gather to 0 + bcast back
         assert stats.total_bytes > 0
         assert stats.total_messages == 3
+        # the backend that actually ran, not the one configured
+        assert stats.backend == backend
 
     def test_needs_at_least_one_rank(self, backend):
         with pytest.raises(ValueError):
@@ -373,6 +375,8 @@ class TestLedgerConformance:
         }
         res_t, stats_t = runs["thread"]
         res_p, stats_p = runs["process"]
+        assert stats_t.backend == "thread"
+        assert stats_p.backend == "process"
         assert res_t == res_p
         assert stats_t.total_messages == stats_p.total_messages
         assert stats_t.total_bytes == stats_p.total_bytes
@@ -487,6 +491,31 @@ class TestBackendSelection:
             resolve_backend("process", faults=FaultPlan(seed=0))
         with pytest.raises(ValueError, match="thread backend only"):
             spmd_run(2, lambda comm: None, recover=True, transport="process")
+
+    def test_env_fallback_warns_once(self, monkeypatch):
+        """The quiet env-process -> thread fallback announces itself with a
+        one-shot RuntimeWarning so a CI leg can see its runs were not on
+        the backend it configured."""
+        import warnings as warnings_mod
+
+        import repro.runtime.transport as transport
+        from repro.runtime.faults import FaultPlan
+
+        monkeypatch.setenv("REPRO_TRANSPORT", "process")
+        monkeypatch.setattr(transport, "_FALLBACK_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="falls back to transport='thread'"):
+            assert resolve_backend(None, faults=FaultPlan(seed=0)) == "thread"
+        # latched: the second fallback is silent
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert resolve_backend(None, recover=True) == "thread"
+
+    def test_env_value_case_insensitive_and_strict(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT", "Process")
+        assert resolve_backend(None) == "process"
+        monkeypatch.setenv("REPRO_TRANSPORT", "prcoess")
+        with pytest.raises(ValueError, match="REPRO_TRANSPORT"):
+            resolve_backend(None)
 
 
 class TestStatsObjects:
