@@ -1,0 +1,238 @@
+"""Distributed refinement bench: where `dkl` beats the coordinator round.
+
+The question this bench answers is the tentpole claim of the distributed
+refinement work: with `--partitioner dkl` the repartitioning stage runs on
+every rank (neighbor halo exchange in P2, tournament refinement in P3)
+instead of serializing on the coordinator — so the *coordinator-phase
+share* of round wall time must drop to zero while the final edge cut stays
+within 10% of the coordinator-serial KL reference (`pnr`).
+
+The measured quantity is the fraction of total round-phase seconds
+(`pared.P0..P3` + audit, summed over all ranks) spent inside the
+`pared.repartition.serial` span — the coordinator's merge + graph build +
+KL refinement, which exists only on the `pnr` path.  For `dkl` the span
+never opens: the coordinator's whole job is the O(p) scalar imbalance
+check, and the refinement cost appears as `dkl.propose`/`dkl.resolve`/
+`dkl.rebalance` spans spread across every rank.
+
+Two modes:
+
+* **pytest-benchmark** (reduced scale, 4608-element coarse mesh, p=8):
+  the end-to-end `dkl` round timing, compared in CI against the committed
+  baseline ``benchmarks/BENCH_dkl.json`` at ``median:25%``; the same test
+  asserts the acceptance criteria (coordinator share reduced vs `pnr`,
+  cut within 10%) and records the crossover table over p in
+  ``extra_info``.  Re-baseline after an intentional change with::
+
+      PYTHONPATH=src python -m pytest benchmarks/bench_distributed_refine.py \
+          --benchmark-json=benchmarks/BENCH_dkl.json
+
+* **script** (nightly smoke)::
+
+      PYTHONPATH=src python benchmarks/bench_distributed_refine.py \
+          --paper-scale --json results/distributed_refine.json
+
+  runs the paper-scale mesh (135k coarse elements at p=16), prints the
+  crossover table and *asserts* the same two criteria.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.core import PNR
+from repro.fem import CornerLaplace2D, interpolation_error_indicator, mark_top_fraction
+from repro.mesh import AdaptiveMesh
+from repro.pared import ParedConfig, run_pared
+
+#: 48x48 unit square -> 2*48*48 = 4608 coarse triangles (CI gate);
+#: 260x260 -> 135,200 coarse triangles (the paper's Section 6 scale)
+_N = {"reduced": 48, "paper": 260}
+_P = {"reduced": 8, "paper": 16}
+_ROUNDS = 2
+_CUT_TOL = 1.10  # dkl final cut must stay within 10% of coordinator KL
+
+_ROUND_PHASES = ("pared.P0", "pared.P1", "pared.P2", "pared.P3", "pared.audit")
+
+
+def _cfg(p: int, n: int, rounds: int, partitioner: str) -> ParedConfig:
+    prob = CornerLaplace2D()
+
+    def marker(amesh, rnd):
+        ind = interpolation_error_indicator(amesh, prob.exact)
+        return mark_top_fraction(amesh, ind, 0.15), []
+
+    return ParedConfig(
+        p=p,
+        make_mesh=lambda: AdaptiveMesh.unit_square(n),
+        marker=marker,
+        rounds=rounds,
+        pnr=PNR(seed=4),
+        imbalance_trigger=0.05,
+        partitioner=partitioner,
+    )
+
+
+def coordinator_share(perf: dict) -> float:
+    """Seconds inside `pared.repartition.serial` as a fraction of all
+    round-phase seconds — the serial-bottleneck share this work removes."""
+    total = sum(secs for name, (_, secs) in perf.items() if name in _ROUND_PHASES)
+    serial = perf.get("pared.repartition.serial", (0, 0.0))[1]
+    return serial / total if total else 0.0
+
+
+def one_run(p: int, n: int, rounds: int, partitioner: str) -> dict:
+    t0 = time.perf_counter()
+    histories, stats = run_pared(_cfg(p, n, rounds, partitioner))
+    seconds = time.perf_counter() - t0
+    perf = stats.kernel_perf or {}
+    return {
+        "partitioner": partitioner,
+        "p": p,
+        "n_elements": 2 * n * n,
+        "seconds": round(seconds, 3),
+        "cut": int(histories[0][-1]["cut"]),
+        "coord_share": round(coordinator_share(perf), 4),
+    }
+
+
+def crossover_rows(p_list, n: int, rounds: int) -> list:
+    """pnr/dkl pairs over p: the coordinator-share column is nonzero on
+    every pnr row and structurally zero on every dkl row.  (Summed over
+    ranks the *share* need not grow with p on a serialized host — the
+    denominator counts all ranks' phase seconds — but the serial span is
+    the one term that cannot shrink as ranks become real cores.)"""
+    rows = []
+    for p in p_list:
+        for name in ("pnr", "dkl"):
+            rows.append(one_run(p, n, rounds, name))
+    return rows
+
+
+def crossover_table(rows) -> str:
+    hdr = (
+        f"{'partitioner':<12} {'p':>3} {'elements':>9} {'seconds':>8} "
+        f"{'cut':>6} {'coord-share':>12}"
+    )
+    lines = [hdr, "-" * len(hdr)]
+    for r in rows:
+        lines.append(
+            f"{r['partitioner']:<12} {r['p']:>3} {r['n_elements']:>9} "
+            f"{r['seconds']:>8.3f} {r['cut']:>6} {r['coord_share']:>12.4f}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# pytest-benchmark mode: the reduced-scale CI gate
+# ---------------------------------------------------------------------- #
+
+
+def test_dkl_round_reduced(benchmark, write_result):
+    n, p = _N["reduced"], _P["reduced"]
+    histories, stats = benchmark.pedantic(
+        lambda: run_pared(_cfg(p, n, _ROUNDS, "dkl")),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+    # correctness guard: the bench must never go fast by being wrong
+    hist = histories[0]
+    assert hist[0]["leaves"] >= 2 * n * n
+    for other in histories[1:]:
+        for a, b in zip(hist, other):
+            assert a["leaves"] == b["leaves"] and a["cut"] == b["cut"]
+            assert np.array_equal(a["owner"], b["owner"])
+
+    # the refinement ran distributed: tournament spans present on the
+    # perf snapshot, the coordinator-serial span never opened, and the
+    # refinement traffic is attributed to its own phase label
+    perf = stats.kernel_perf or {}
+    assert "dkl.propose" in perf and "dkl.resolve" in perf
+    assert "pared.repartition.serial" not in perf
+    assert "dkl" in stats.phase_report()
+
+    # acceptance: coordinator-phase share reduced vs pnr at p>=8 with the
+    # final cut within 10% of the coordinator-serial KL reference
+    pnr = one_run(p, n, _ROUNDS, "pnr")
+    dkl_share = coordinator_share(perf)
+    assert pnr["coord_share"] > 0.0, "pnr must exercise the serial span"
+    assert dkl_share < pnr["coord_share"]
+    assert hist[-1]["cut"] <= _CUT_TOL * pnr["cut"], (
+        f"dkl cut {hist[-1]['cut']} vs pnr {pnr['cut']}"
+    )
+
+    # the crossover table over p, published with the benchmark JSON
+    rows = crossover_rows((2, 4), n, _ROUNDS) + [
+        pnr,
+        {
+            "partitioner": "dkl",
+            "p": p,
+            "n_elements": 2 * n * n,
+            "seconds": None,  # the benched timing above, see stats JSON
+            "cut": int(hist[-1]["cut"]),
+            "coord_share": round(dkl_share, 4),
+        },
+    ]
+    benchmark.extra_info["crossover"] = rows
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    write_result(
+        "distributed_refine",
+        crossover_table([r for r in rows if r["seconds"] is not None]),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# script mode: the paper-scale nightly smoke
+# ---------------------------------------------------------------------- #
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--paper-scale", action="store_true",
+                    help="run the 135k-element scale (the nightly smoke)")
+    ap.add_argument("--p", type=int, nargs="+", default=None,
+                    help="processor counts for the crossover table")
+    ap.add_argument("--json", metavar="PATH",
+                    help="write the rows as a JSON artifact")
+    args = ap.parse_args(argv)
+
+    scale = "paper" if args.paper_scale else "reduced"
+    n = _N[scale]
+    p_gate = _P[scale]
+    p_list = args.p or sorted({2, max(2, p_gate // 2), p_gate})
+    rows = crossover_rows(p_list, n, _ROUNDS)
+
+    print()
+    print(crossover_table(rows))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(rows, fh, indent=2)
+        print(f"[written to {args.json}]")
+
+    by = {(r["partitioner"], r["p"]): r for r in rows}
+    pnr, dkl = by[("pnr", p_gate)], by[("dkl", p_gate)]
+    print(
+        f"\ncoordinator share at p={p_gate}: pnr {pnr['coord_share']:.4f} "
+        f"-> dkl {dkl['coord_share']:.4f}; cut {pnr['cut']} -> {dkl['cut']}"
+    )
+    if not dkl["coord_share"] < pnr["coord_share"]:
+        print("FAIL: dkl must reduce the coordinator-phase share",
+              file=sys.stderr)
+        return 1
+    if dkl["cut"] > _CUT_TOL * pnr["cut"]:
+        print(f"FAIL: dkl cut {dkl['cut']} above {_CUT_TOL}x pnr {pnr['cut']}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -266,6 +266,11 @@ def _cmd_pared(args) -> int:
     ))
     for phase, (msgs, nbytes) in stats.phase_report().items():
         print(f"  {phase}: {msgs} messages, {nbytes} bytes")
+    if args.phase_report:
+        from repro.experiments import format_phase_table
+
+        print()
+        print(format_phase_table(stats.kernel_perf))
     return 0
 
 
@@ -378,13 +383,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     pa.add_argument(
         "--partitioner", choices=available_partitioners(), default="pnr",
-        help="coordinator repartitioning strategy: pnr (Equation-1 KL, "
-             "default), mlkl (scratch Multilevel-KL), or sfc "
-             "(space-filling-curve splitting)",
+        help="repartitioning strategy: pnr (Equation-1 KL on the "
+             "coordinator, default), mlkl (scratch Multilevel-KL), sfc "
+             "(space-filling-curve splitting), or dkl (distributed "
+             "boundary refinement, no coordinator in the loop)",
     )
     pa.add_argument(
         "--sfc-curve", choices=("morton", "hilbert"), default="morton",
         help="curve of the sfc partitioner",
+    )
+    pa.add_argument(
+        "--phase-report", action="store_true",
+        help="also print the per-phase wall-clock table (P0-P3/audit plus "
+             "the nested repartition spans) from the run's perf counters",
     )
     pa.set_defaults(fn=_cmd_pared)
 

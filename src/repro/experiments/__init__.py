@@ -19,7 +19,11 @@ from repro.experiments.laplace import laplace_ladder, ladder_pairs, default_scal
 from repro.experiments.paper_data import paper_consistency_report
 from repro.experiments.tracking import AssignmentTracker
 from repro.experiments.transient import transient_mesh_sequence, TransientRunner
-from repro.experiments.tables import format_table, format_series
+from repro.experiments.tables import (
+    format_phase_table,
+    format_series,
+    format_table,
+)
 
 __all__ = [
     "laplace_ladder",
@@ -30,5 +34,6 @@ __all__ = [
     "TransientRunner",
     "format_table",
     "format_series",
+    "format_phase_table",
     "paper_consistency_report",
 ]

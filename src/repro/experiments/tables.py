@@ -30,6 +30,47 @@ def format_table(headers, rows, title: str = "") -> str:
     return "\n".join(lines)
 
 
+#: the PARED round phases, in pipeline order
+_ROUND_PHASES = ("pared.P0", "pared.P1", "pared.P2", "pared.P3", "pared.audit")
+
+
+def format_phase_table(kernel_perf: dict, title: str = "PARED phase timing") -> str:
+    """The per-phase wall-clock profile of a PARED run as aligned columns.
+
+    ``kernel_perf`` is ``stats.kernel_perf`` from :func:`repro.pared.
+    run_pared` — ``{span name: (calls, seconds)}`` aggregated over all
+    ranks.  The top block is the round phases P0–P3 (+audit when enabled)
+    with their share of the round total; below are the refinement spans
+    nested *inside* P3 — ``pared.repartition.serial`` (the coordinator's
+    serial merge+repartition) and the ``dkl.*`` tournament steps — whose
+    shares read as fractions of the same total, so the coordinator-serial
+    share of wall time is visible at a glance.
+    """
+    kernel_perf = kernel_perf or {}
+    phases = [n for n in _ROUND_PHASES if n in kernel_perf]
+    nested = [
+        n
+        for n in sorted(kernel_perf)
+        if n == "pared.repartition.serial" or n.startswith("dkl.")
+    ]
+    total = sum(kernel_perf[n][1] for n in phases)
+    rows = []
+    for name in phases + nested:
+        calls, secs = kernel_perf[name]
+        rows.append(
+            (
+                name if name in phases else "  " + name,
+                calls,
+                f"{secs:.4f}",
+                f"{secs / total:.1%}" if total else "-",
+                f"{secs / calls * 1e3:.2f}" if calls else "-",
+            )
+        )
+    return format_table(
+        ["phase", "calls", "seconds", "share", "ms/call"], rows, title=title
+    )
+
+
 def format_series(series: dict, field: str, every: int = 1, title: str = "") -> str:
     """Render one per-step field of a :class:`TransientRunner` result as
     columns (step, then one column per method)."""

@@ -217,6 +217,43 @@ class DistributedMesh:
             return diff_weight_report(full, prev)
         return full
 
+    def exchange_halo_weights(self, full: dict, graph):
+        """Phase P2, ``dkl`` variant: neighbor-to-neighbor halo exchange.
+
+        Instead of funnelling every report through the coordinator, each
+        rank sends the slice of its canonical edge report incident to a
+        neighbor's roots directly to that neighbor
+        (:func:`~repro.pared.weights.split_report_by_owner`) and receives
+        the symmetric slices back.  The set of ranks to expect messages
+        from is computed from the *replicated structure* (which edges
+        cross the ownership boundary is public knowledge; only the
+        weights travel), so no handshake round is needed.  Returns this
+        rank's assembled :class:`~repro.partition.distributed.PartView`.
+        """
+        from repro.pared.weights import split_report_by_owner
+        from repro.partition.distributed import PartView
+
+        n = self.amesh.n_roots
+        payloads = split_report_by_owner(full, self.owner, n, self.rank)
+        for t in sorted(payloads):
+            self.comm.send(payloads[t], t, tag=21)
+        # expected sources: owners of `a` for canonical edges (a, b) with
+        # a < b, owner[b] == rank, owner[a] != rank — the mirror image of
+        # the send rule above, read off the replicated adjacency
+        counts = np.diff(graph.xadj)
+        src = np.repeat(np.arange(n, dtype=np.int64), counts)
+        dst = graph.adjncy
+        mask = (
+            (src < dst)
+            & (self.owner[dst] == self.rank)
+            & (self.owner[src] != self.rank)
+        )
+        sources = np.unique(self.owner[src[mask]])
+        received = [
+            recv_with_retry(self.comm, int(s), tag=21) for s in sources
+        ]
+        return PartView.from_reports(n, self.rank, full, received)
+
     def send_weights_to_coordinator(self, update: dict, coordinator: int = 0):
         """Phase P2: ship the weight deltas to ``P_C``.
 

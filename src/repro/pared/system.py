@@ -48,10 +48,12 @@ from repro.pared.distmesh import DistributedMesh
 from repro.pared.migrate import execute_migration, plan_recovery_assignment
 from repro.pared.weights import (
     diff_weight_report,
+    full_weight_report,
     keep_last,
     merge_fresh_values,
     split_edge_keys,
 )
+from repro.partition.distributed import DKLConfig, dkl_refine_comm
 from repro.partition.registry import make_repartitioner
 from repro.perf import PERF
 from repro.runtime.faults import FaultPlan
@@ -68,6 +70,7 @@ from repro.runtime.recovery import (
 from repro.runtime.simmpi import spmd_run
 from repro.testing import (
     check_dual_graph_weights,
+    check_halo_weights,
     check_history_agreement,
     check_migration_conservation,
     check_monotone_refinement,
@@ -129,12 +132,18 @@ class ParedConfig:
         environment variable.  ``faults``/``recover`` require the thread
         backend (see :func:`~repro.runtime.transport.resolve_backend`).
     partitioner:
-        Coordinator repartitioning strategy by registry name
+        Repartitioning strategy by registry name
         (:data:`repro.partition.PARTITIONERS`): ``"pnr"`` (default — the
-        paper's Equation-1 multilevel KL), ``"mlkl"`` (scratch
-        Multilevel-KL, label-aligned), or ``"sfc"`` (Morton/Hilbert
+        paper's Equation-1 multilevel KL on the coordinator), ``"mlkl"``
+        (scratch Multilevel-KL, label-aligned), ``"sfc"`` (Morton/Hilbert
         space-filling-curve splitting of the coarse-root centroids —
-        O(n log n), incremental, the cheap high-throughput baseline).
+        O(n log n), incremental, the cheap high-throughput baseline), or
+        ``"dkl"`` (distributed boundary refinement,
+        :mod:`repro.partition.distributed`).  Under ``dkl`` the round is
+        restructured: P2 weight exchange is neighbor-to-neighbor halo
+        traffic instead of all-to-coordinator, the coordinator keeps only
+        the O(p) scalar imbalance check, and refinement runs SPMD on
+        every rank (phase label ``dkl``).
     sfc_curve:
         Curve of the ``sfc`` strategy: ``"morton"`` (default) or
         ``"hilbert"``.  Ignored by the graph-based strategies.
@@ -259,7 +268,13 @@ def _pared_setup(comm, cfg: ParedConfig, live) -> _RankState:
         owner0 = None
     owner = comm.bcast(owner0, root=C, tag=40, ranks=group)
     dmesh = DistributedMesh(comm, amesh, owner, live=live)
-    coord_graph = _CoordinatorGraph(amesh.n_roots) if comm.rank == C else None
+    # under dkl the coordinator never assembles G — weights stay
+    # distributed and travel neighbor-to-neighbor in P2
+    coord_graph = (
+        _CoordinatorGraph(amesh.n_roots)
+        if comm.rank == C and cfg.partitioner != "dkl"
+        else None
+    )
     return _RankState(
         amesh=amesh,
         dmesh=dmesh,
@@ -275,6 +290,7 @@ def _pared_setup(comm, cfg: ParedConfig, live) -> _RankState:
 def _pared_round(comm, cfg: ParedConfig, st: _RankState, rnd: int) -> None:
     amesh, dmesh, C = st.amesh, st.dmesh, st.coordinator
     live = dmesh.live
+    dkl = cfg.partitioner == "dkl"
 
     # ---- P0: adapt ------------------------------------------------ #
     tick = perf_counter()
@@ -295,44 +311,102 @@ def _pared_round(comm, cfg: ParedConfig, st: _RankState, rnd: int) -> None:
     PERF.add("pared.P0", perf_counter() - tick)
     tick = perf_counter()
     comm.set_phase("P1")
-    full = dmesh.local_weight_update(None)
-    delta = diff_weight_report(full, st.prev_full)
-    st.prev_full = full
+    if dkl:
+        # no delta machinery: the halo exchange ships each round's full
+        # (small, per-neighbor) boundary slices, so there is no baseline
+        # to diff against and nothing for a coordinator to accumulate
+        graph_struct = coarse_dual_graph(amesh.mesh)
+        full = full_weight_report(graph_struct, dmesh.owner, comm.rank)
+        st.prev_full = None
+    else:
+        full = dmesh.local_weight_update(None)
+        delta = diff_weight_report(full, st.prev_full)
+        st.prev_full = full
 
-    # ---- P2: ship to coordinator ---------------------------------- #
+    # ---- P2: ship weights ------------------------------------------ #
     PERF.add("pared.P1", perf_counter() - tick)
     tick = perf_counter()
     comm.set_phase("P2")
-    msgs = dmesh.send_weights_to_coordinator(delta, C)
+    if dkl:
+        # neighbor-to-neighbor halo exchange; the coordinator's only job
+        # is the O(p) scalar imbalance check on gathered load sums
+        view = dmesh.exchange_halo_weights(full, graph_struct)
+        wsum = float(full["v_wts"].sum())
+        wmax_local = float(full["v_wts"].max()) if full["v_wts"].size else 0.0
+        gathered = comm.gather(
+            (wsum, wmax_local), root=C, tag=42, ranks=dmesh.group
+        )
+        if comm.rank == C:
+            loads = np.zeros(comm.size)
+            for r, (s, _) in zip(live, gathered):
+                loads[r] = s
+            wmax = max(m for _, m in gathered)
+            live_loads = loads[live]
+            mean = live_loads.sum() / len(live)
+            imb = float(live_loads.max() / mean - 1.0) if mean else 0.0
+            decision = (loads, float(wmax), imb)
+        else:
+            decision = None
+        loads, wmax, imb = comm.bcast(decision, root=C, tag=43, ranks=dmesh.group)
+    else:
+        msgs = dmesh.send_weights_to_coordinator(delta, C)
 
     # ---- P3: repartition & migrate -------------------------------- #
     PERF.add("pared.P2", perf_counter() - tick)
     tick = perf_counter()
     comm.set_phase("P3")
-    if comm.rank == C:
-        st.coord_graph.merge(msgs)
-        graph = st.coord_graph.graph()
-        loads = np.bincount(dmesh.owner, weights=graph.vwts, minlength=comm.size)
-        live_loads = loads[live]
-        mean = live_loads.sum() / len(live)
-        imb = float(live_loads.max() / mean - 1.0) if mean else 0.0
+    if dkl:
         if imb > cfg.imbalance_trigger:
-            if len(live) == comm.size:
-                new_owner = st.repart.repartition(
-                    graph, comm.size, dmesh.owner, coords=st.root_coords
-                )
-            else:
-                new_owner = expand_owner(
-                    st.repart.repartition(
-                        graph,
-                        len(live),
-                        compact_owner(dmesh.owner, live),
-                        coords=st.root_coords,
-                    ),
-                    live,
-                )
+            comm.set_phase("dkl")
+            dcfg = DKLConfig(
+                alpha=cfg.pnr.alpha,
+                beta=cfg.pnr.beta,
+                seed=cfg.pnr.seed,
+                balance_tol=cfg.pnr.balance_tol,
+            )
+            assign = dkl_refine_comm(
+                comm,
+                view,
+                dmesh.owner,
+                np.asarray(loads, dtype=np.float64),
+                wmax,
+                live,
+                dcfg,
+                group=dmesh.group,
+            )
+            comm.set_phase("P3")
         else:
-            new_owner = dmesh.owner.copy()
+            assign = dmesh.owner.copy()
+        # every rank computed the identical assignment; the migration
+        # machinery still takes it from the coordinator side unchanged
+        new_owner = assign if comm.rank == C else None
+    elif comm.rank == C:
+        with PERF.span("pared.repartition.serial"):
+            st.coord_graph.merge(msgs)
+            graph = st.coord_graph.graph()
+            loads = np.bincount(
+                dmesh.owner, weights=graph.vwts, minlength=comm.size
+            )
+            live_loads = loads[live]
+            mean = live_loads.sum() / len(live)
+            imb = float(live_loads.max() / mean - 1.0) if mean else 0.0
+            if imb > cfg.imbalance_trigger:
+                if len(live) == comm.size:
+                    new_owner = st.repart.repartition(
+                        graph, comm.size, dmesh.owner, coords=st.root_coords
+                    )
+                else:
+                    new_owner = expand_owner(
+                        st.repart.repartition(
+                            graph,
+                            len(live),
+                            compact_owner(dmesh.owner, live),
+                            coords=st.root_coords,
+                        ),
+                        live,
+                    )
+            else:
+                new_owner = dmesh.owner.copy()
     else:
         new_owner = None
         imb = None
@@ -355,7 +429,13 @@ def _pared_round(comm, cfg: ParedConfig, st: _RankState, rnd: int) -> None:
             dmesh.owned_leaf_ids().tolist(), tag=91, ranks=dmesh.group
         )
         check_migration_conservation(leaves_before, amesh.leaf_ids(), owned_all)
-        if comm.rank == C:
+        if dkl:
+            # every rank's halo view was assembled purely from P2
+            # neighbor messages (plus proposal payloads as roots changed
+            # hands) — audit it against a brute-force recount of the
+            # incident set of the roots it now owns
+            check_halo_weights(amesh.mesh, view, dmesh.owner, comm.rank)
+        elif comm.rank == C:
             # the coordinator's G was assembled purely from P2
             # messages — auditing it against a brute-force recount
             # verifies the distributed weight protocol end to end
@@ -436,13 +516,18 @@ def _recover(comm, cfg: ParedConfig, store: CheckpointStore, flush_seen: dict):
     store.discard_after(decision)
     C = cfg.coordinator if cfg.coordinator in live else live[0]
     coordinator_changed = C != ckpt.coordinator
-    if coordinator_changed:
+    dkl = cfg.partitioner == "dkl"
+    if coordinator_changed or dkl:
         # a freshly promoted P_C starts with an empty G; every survivor
         # resets its delta baseline so the next round's P2 carries full
-        # reports and G is rebuilt from messages alone
+        # reports and G is rebuilt from messages alone.  (Under dkl there
+        # is no coordinator G at all — every round's P2 rebuilds the halo
+        # views from full reports, so recovery has nothing to restore.)
         prev_full = None
         coord_graph = (
-            _CoordinatorGraph(ckpt.amesh.n_roots) if comm.rank == C else None
+            _CoordinatorGraph(ckpt.amesh.n_roots)
+            if comm.rank == C and not dkl
+            else None
         )
     else:
         prev_full = ckpt.prev_full
@@ -462,7 +547,7 @@ def _recover(comm, cfg: ParedConfig, store: CheckpointStore, flush_seen: dict):
     if comm.rank == C:
         graph = (
             coarse_dual_graph(ckpt.amesh.mesh)  # failover bootstrap
-            if coordinator_changed
+            if coordinator_changed or dkl
             else coord_graph.graph()
         )
         new_owner = plan_recovery_assignment(

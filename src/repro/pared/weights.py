@@ -123,12 +123,18 @@ def diff_weight_report(full: dict, prev) -> dict:
     }
 
 
-def keep_last(keys: np.ndarray, vals: np.ndarray):
+def keep_last(keys, vals):
     """Deduplicate (keys, vals) keeping the *last* occurrence of each key —
     the array analogue of dict insertion order (later messages win).
-    Returns sorted unique keys with their surviving values."""
+    Returns sorted unique int64 keys with their surviving values.
+
+    Always returns freshly owned arrays with canonical dtypes, including on
+    the empty path — callers may mutate the result without aliasing the
+    input (or the shared module-level empties)."""
+    keys = np.asarray(keys, dtype=np.int64)
+    vals = np.asarray(vals)
     if keys.size == 0:
-        return keys, vals
+        return keys.copy(), vals.copy()
     rev_keys = keys[::-1]
     uniq, first = np.unique(rev_keys, return_index=True)
     return uniq, vals[::-1][first]
@@ -136,10 +142,37 @@ def keep_last(keys: np.ndarray, vals: np.ndarray):
 
 def merge_fresh_values(keys, vals, fresh_keys, fresh_vals):
     """Overlay fresh (key, value) pairs onto a sorted key/value store:
-    existing keys are overwritten, new keys inserted, order kept sorted."""
+    existing keys are overwritten, new keys inserted, order kept sorted.
+    Like :func:`keep_last`, never returns a view of its inputs."""
+    keys = np.asarray(keys, dtype=np.int64)
+    vals = np.asarray(vals)
     fresh_keys, fresh_vals = keep_last(fresh_keys, fresh_vals)
     if fresh_keys.size == 0:
-        return keys, vals
+        return keys.copy(), vals.copy()
     cat_keys = np.concatenate([keys, fresh_keys])
     cat_vals = np.concatenate([vals, fresh_vals])
     return keep_last(cat_keys, cat_vals)
+
+
+def split_report_by_owner(full: dict, owner, n_roots: int, rank: int) -> dict:
+    """Split this rank's canonical edge report by the *other* endpoint's
+    owner — the per-neighbor halo payloads of the ``dkl`` P2 variant.
+
+    Edge ``(a, b)`` (``a < b``) in ``full`` has ``owner[a] == rank``; the
+    entry belongs to neighbor ``t = owner[b]`` when ``t != rank``.  Returns
+    ``{t: {"e_keys": ..., "e_wts": ...}}`` with sorted keys per neighbor.
+    """
+    owner = np.asarray(owner, dtype=np.int64)
+    _, b = split_edge_keys(full["e_keys"], n_roots)
+    dst_owner = owner[b] if b.size else _EMPTY_I
+    out = {}
+    for t in np.unique(dst_owner):
+        t = int(t)
+        if t == rank:
+            continue
+        pick = dst_owner == t
+        out[t] = {
+            "e_keys": full["e_keys"][pick],
+            "e_wts": full["e_wts"][pick],
+        }
+    return out

@@ -55,7 +55,11 @@ class WorkflowConfig:
     every round, the third selects the rank backend
     (``"thread"``/``"process"``, ``None`` defers to ``REPRO_TRANSPORT``),
     and the last two select the coordinator's repartitioning strategy from
-    the registry (``"pnr"``/``"mlkl"``/``"sfc"``).
+    the registry (``"pnr"``/``"mlkl"``/``"sfc"``/``"dkl"``).  On this
+    workflow path every strategy — ``dkl`` included, in its
+    serial-exchange flavour — runs on the coordinator; the SPMD
+    neighbor-exchange P2/P3 variant lives in
+    :func:`repro.pared.system.run_pared`.
     """
 
     p: int

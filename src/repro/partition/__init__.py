@@ -18,10 +18,13 @@ Plus the high-throughput geometric baseline:
 
 And the pieces they share: the p-way Kernighan–Lin refinement engine
 (:mod:`repro.partition.kl`, also the host of PNR's modified gain function),
-greedy graph growing for coarsest-level partitions, the Biswas–Oliker
-subset permutation that minimizes data movement [5], partition metrics, and
-the named repartitioner registry (:mod:`repro.partition.registry`:
-``pnr``/``mlkl``/``sfc``) the PARED drivers and CLI select strategies from.
+the distributed propose/resolve/rebalance refinement pass
+(:mod:`repro.partition.distributed` — the coordinator-free ``dkl``
+strategy), greedy graph growing for coarsest-level partitions, the
+Biswas–Oliker subset permutation that minimizes data movement [5],
+partition metrics, and the named repartitioner registry
+(:mod:`repro.partition.registry`: ``pnr``/``mlkl``/``sfc``/``dkl``) the
+PARED drivers and CLI select strategies from.
 """
 
 from repro.partition.metrics import (
@@ -33,6 +36,12 @@ from repro.partition.metrics import (
     validate_assignment,
 )
 from repro.partition.kl import KLConfig, kl_refine
+from repro.partition.distributed import (
+    DKLConfig,
+    PartView,
+    dkl_refine_comm,
+    dkl_refine_serial,
+)
 from repro.partition.registry import (
     PARTITIONERS,
     available_partitioners,
@@ -68,6 +77,10 @@ __all__ = [
     "validate_assignment",
     "KLConfig",
     "kl_refine",
+    "DKLConfig",
+    "PartView",
+    "dkl_refine_comm",
+    "dkl_refine_serial",
     "PARTITIONERS",
     "available_partitioners",
     "make_repartitioner",

@@ -1,0 +1,728 @@
+"""Distributed boundary refinement — the ``dkl`` strategy.
+
+The last serial stage of a PARED round was the coordinator's KL pass:
+phases P2/P3 funnel every weight report through ``P_C``, which then refines
+the coarse partition alone while ``p - 1`` ranks idle.  This module
+decentralizes that stage in the spirit of Sanders & Seemaier's
+unconstrained distributed local search (arXiv:2406.03169):
+
+1. **propose** — each rank scans the boundary roots of *its own part* on
+   its halo view of ``G`` and evaluates, for every live destination part
+   ``j``, the Equation-1 gain of moving root ``v`` from its part ``i``::
+
+       gain(v, i->j) = [conn(v, j) - conn(v, i)]                  (cut)
+                     - a*w(v)*[(j != home(v)) - (i != home(v))]   (migration)
+                     + b*[phi(W_i) + phi(W_j)
+                          - phi(W_i - w(v)) - phi(W_j + w(v))]    (balance)
+
+   with the deadband potential ``phi`` of the KL engine (zero inside the
+   balance envelope, quadratic on the excess outside — cut decides between
+   already-balanced parts), and proposes its best strictly-positive move
+   per root.  Only boundary moves (``conn(v, j) > 0``) are proposed here;
+   teleports are the rebalance step's business.
+
+2. **resolve** — proposals are allgathered and every rank replays the same
+   deterministic tournament: sort by ``(-gain, (part + seed + round) mod
+   p, vertex id)`` — highest gain wins, the seeded rank rotation breaks
+   ties fairly across rounds, the vertex id makes the order total — then
+   accept greedily under the KL balance envelope.  A mover is locked for
+   the rest of the round (no root moves twice), and a candidate whose
+   neighborhood was touched by an earlier acceptance has its gain
+   recomputed exactly from the edge list its proposal carries — the
+   classic adjacent-moves conflict that would invalidate both gains is
+   resolved by accounting, not by exclusion, so a coherent front can
+   cascade through a single round.  A move that would empty its source
+   part is never accepted (every live part must keep at least one root).
+
+3. **rebalance** — when some part exceeds the balance envelope, the
+   overweight ranks propose bounded donations (least cut damage first,
+   toward any strictly lighter live part so weight *diffuses* along part
+   boundaries, teleporting only when no lighter neighbor exists) resolved
+   by the same tournament rule, restoring the constraint the
+   unconstrained pass may have stretched.
+
+Rounds are grouped into KL-style **passes** (a vertex moves at most once
+per pass), and the loop hill-climbs like the serial engine: when a round
+accepts no positive move, an **escape** round offers each part's single
+least-damaging move regardless of sign and the tournament accepts the best
+one — every accepted gain is the *exact* objective delta, so all ranks
+track the same cumulative objective and, at pass end, roll the suffix
+after the best prefix back in lockstep.  Positive-only batch acceptance is
+what made early distributed KL variants measurably worse than the serial
+pass (it cannot cross objective ridges); the escape/rollback pair restores
+that ability without a coordinator.
+
+Every rank executes the same resolve on the same allgathered inputs, so
+the final assignment is replica-identical with **no coordinator
+involvement** — in a ``dkl`` PARED round the coordinator's only remaining
+job is the O(p) scalar imbalance check.
+
+:func:`dkl_refine_serial` drives the identical propose/resolve/rebalance
+code from a single thread (a rank loop instead of an allgather).  It backs
+the ``dkl`` registry strategy and is the reference the SPMD path
+(:func:`dkl_refine_comm`) is tested bit-identical against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perf import PERF
+
+__all__ = [
+    "DKLConfig",
+    "PartView",
+    "dkl_refine_serial",
+    "dkl_refine_comm",
+]
+
+#: allgather tag of the proposal rounds (propose and rebalance share it:
+#: the wire is tag-matched FIFO, so alternating batches cannot cross)
+PROPOSAL_TAG = 45
+
+
+def edge_keys(a, b, n_roots: int) -> np.ndarray:
+    """Pack edge endpoint arrays (``a < b`` elementwise) into scalar keys —
+    the packing rule of :mod:`repro.pared.weights` (kept local so the
+    partition layer stays importable without the pared package)."""
+    return np.asarray(a, dtype=np.int64) * np.int64(n_roots) + np.asarray(
+        b, dtype=np.int64
+    )
+
+
+def split_edge_keys(keys, n_roots: int):
+    """Inverse of :func:`edge_keys`: ``(a, b)`` endpoint arrays."""
+    keys = np.asarray(keys, dtype=np.int64)
+    return keys // n_roots, keys % n_roots
+
+
+@dataclass
+class DKLConfig:
+    """Knobs of the distributed refinement pass.  ``alpha``/``beta``/
+    ``seed``/``balance_tol`` mirror the Equation-1 parameters of
+    :class:`repro.core.pnr.PNR`; the rest bound the tournament."""
+
+    alpha: float = 0.1
+    beta: float = 0.8
+    balance_tol: float = 0.02
+    seed: int = 0
+    #: propose/resolve/rebalance iterations per pass before giving up
+    #: (each round accepts an independent set of moves, so heavy imbalance
+    #: needs many; converged rounds exit early and cost one cheap exchange)
+    max_rounds: int = 48
+    #: most donations a single overweight part may propose per round —
+    #: deliberately small: donating the whole excess in one batch at
+    #: stale loads carves fragmented boundaries that refinement cannot
+    #: repair, while bounded batches let the loads (and the proposals
+    #: computed from them) refresh between donations
+    rebalance_cap: int = 8
+    #: KL-style passes: per pass every vertex moves at most once and the
+    #: suffix after the best cumulative-objective prefix is rolled back
+    max_passes: int = 3
+    #: accepted moves without a new best prefix before the pass ends (the
+    #: hill-climbing tail that would be rolled back anyway)
+    stall: int = 32
+    #: escape rounds per pass: each one costs a full exchange for a single
+    #: accepted move, so the hill-climb budget is bounded separately from
+    #: the batch rounds
+    escape_cap: int = 8
+    #: a pass must keep at least this much objective improvement for
+    #: another pass to start
+    min_gain: float = 1e-9
+
+
+class PartView:
+    """One part's halo knowledge of the weighted coarse graph ``G``.
+
+    The mesh *structure* is replicated across ranks, but weights are
+    distributed knowledge: a rank knows the vertex weights of the roots in
+    its part plus the weight of every edge incident to them — its own
+    canonical report (owner of ``a`` reports edge ``(a, b)``, ``a < b``)
+    merged with the neighbor halo reports.  Stored flat: a dense
+    vertex-weight vector (zero outside the known set) and sorted packed
+    edge keys with aligned weights, same primitives as
+    :mod:`repro.pared.weights`.
+    """
+
+    __slots__ = ("n", "part", "vwts", "e_keys", "e_wts")
+
+    def __init__(self, n_roots, part, v_ids, v_wts, e_keys, e_wts):
+        self.n = int(n_roots)
+        self.part = int(part)
+        self.vwts = np.zeros(self.n, dtype=np.float64)
+        self.vwts[np.asarray(v_ids, dtype=np.int64)] = np.asarray(
+            v_wts, dtype=np.float64
+        )
+        e_keys = np.asarray(e_keys, dtype=np.int64)
+        e_wts = np.asarray(e_wts, dtype=np.float64)
+        order = np.argsort(e_keys, kind="stable")
+        self.e_keys = e_keys[order]
+        self.e_wts = e_wts[order]
+
+    @classmethod
+    def from_reports(cls, n_roots, part, full, received) -> "PartView":
+        """Assemble the view from this rank's canonical report plus the
+        halo payloads received from its neighbors (disjoint key sets by
+        the ownership rule)."""
+        e_keys = np.concatenate(
+            [full["e_keys"]] + [m["e_keys"] for m in received]
+        )
+        e_wts = np.concatenate([full["e_wts"]] + [m["e_wts"] for m in received])
+        return cls(n_roots, part, full["v_ids"], full["v_wts"], e_keys, e_wts)
+
+    @classmethod
+    def from_graph(cls, graph, part, assign) -> "PartView":
+        """The serial engine's view: ``G`` restricted to the edges incident
+        to ``part`` — exactly what the halo exchange delivers, read
+        directly from the graph."""
+        assign = np.asarray(assign, dtype=np.int64)
+        n = graph.n_vertices
+        counts = np.diff(graph.xadj)
+        src = np.repeat(np.arange(n, dtype=np.int64), counts)
+        dst = graph.adjncy
+        mask = (src < dst) & ((assign[src] == part) | (assign[dst] == part))
+        v_ids = np.flatnonzero(assign == part)
+        return cls(
+            n,
+            part,
+            v_ids,
+            graph.vwts[v_ids],
+            edge_keys(src[mask], dst[mask], n),
+            graph.ewts[mask],
+        )
+
+    def directed(self, assign):
+        """``(src, dst, w)`` triplets with ``assign[src] == part``: every
+        incident edge seen from the member side, sorted by (src, dst)."""
+        a, b = split_edge_keys(self.e_keys, self.n)
+        src = np.concatenate([a, b])
+        dst = np.concatenate([b, a])
+        w = np.concatenate([self.e_wts, self.e_wts])
+        keep = assign[src] == self.part
+        src, dst, w = src[keep], dst[keep], w[keep]
+        order = np.lexsort((dst, src))
+        return src[order], dst[order], w[order]
+
+    def absorb(self, v_ids, v_wts, e_keys, e_wts) -> None:
+        """Merge roots won from other parts, with their incident edges.
+        Keys already present re-report the same true weight, so the first
+        occurrence wins harmlessly."""
+        self.vwts[np.asarray(v_ids, dtype=np.int64)] = np.asarray(
+            v_wts, dtype=np.float64
+        )
+        keys = np.concatenate([self.e_keys, np.asarray(e_keys, dtype=np.int64)])
+        wts = np.concatenate([self.e_wts, np.asarray(e_wts, dtype=np.float64)])
+        uniq, first = np.unique(keys, return_index=True)
+        self.e_keys = uniq
+        self.e_wts = wts[first]
+
+    def prune(self, assign) -> None:
+        """Drop edges with no endpoint left in the part and zero the
+        weights of departed roots — the exact incident set again, so the
+        honesty audit (:func:`repro.testing.check_halo_weights`) can
+        compare against a brute-force recount."""
+        a, b = split_edge_keys(self.e_keys, self.n)
+        keep = (assign[a] == self.part) | (assign[b] == self.part)
+        self.e_keys = self.e_keys[keep]
+        self.e_wts = self.e_wts[keep]
+        self.vwts[np.asarray(assign) != self.part] = 0.0
+
+
+# ---------------------------------------------------------------------- #
+# propose
+# ---------------------------------------------------------------------- #
+
+
+def _phi(W, maxcap: float, floor: float):
+    """Deadband balance potential: zero inside the ``[floor, maxcap]``
+    envelope, quadratic on the excess outside (the ``balance_mode=
+    "deadband"`` form of :mod:`repro.partition.kl`).  Inside the band the
+    balance gain vanishes, so cut and migration decide — refinement never
+    pays cut for micro-balancing churn between already-balanced parts."""
+    over = np.maximum(W - maxcap, 0.0)
+    under = np.maximum(floor - W, 0.0)
+    return over * over + under * under
+
+
+def _conn_matrix(view: PartView, assign, p: int):
+    """Members of the part, their (n_members, p) part-connectivity matrix,
+    and the directed incident-edge arrays with per-member CSR offsets."""
+    mine = np.flatnonzero(np.asarray(assign) == view.part)
+    src, dst, w = view.directed(assign)
+    li = np.searchsorted(mine, src)
+    conn = np.bincount(
+        li * p + np.asarray(assign)[dst], weights=w, minlength=mine.size * p
+    ).reshape(mine.size, p)
+    off = np.empty(mine.size + 1, dtype=np.int64)
+    off[:-1] = np.searchsorted(src, mine)
+    off[-1] = src.size
+    return mine, conn, (src, dst, w, off)
+
+
+def _pack_proposal(part, v, dst, prio, static, vw, rows, adj):
+    """Flatten the chosen rows into the wire proposal: struct-of-arrays
+    plus each mover's incident neighbor list (CSR), so any rank can lock
+    the neighbors and the winning part can absorb the root sight unseen."""
+    _, adst, aw, off = adj
+    starts = off[rows]
+    lens = off[rows + 1] - starts
+    total = int(lens.sum())
+    e_off = np.zeros(rows.size + 1, dtype=np.int64)
+    np.cumsum(lens, out=e_off[1:])
+    idx = np.repeat(starts, lens) + (
+        np.arange(total, dtype=np.int64) - np.repeat(e_off[:-1], lens)
+    )
+    return {
+        "part": int(part),
+        "v": v,
+        "dst": dst,
+        "prio": prio,
+        "static": static,
+        "vw": vw,
+        "e_off": e_off,
+        "adj": adst[idx],
+        "adj_w": aw[idx],
+    }
+
+
+def _propose_moves(
+    view: PartView, assign, home, loads, live, cfg: DKLConfig, maxcap, floor,
+    locked, escape=False,
+):
+    """This part's best strictly-positive Equation-1 move per unlocked
+    boundary root, or ``None``.  ``prio`` is the full gain at round-start
+    loads (the tournament key); ``static`` is the cut+migration component —
+    the balance term is recomputed against live loads at accept time.
+
+    With ``escape=True`` the sign requirement is dropped and only the
+    single best candidate is proposed: the hill-climbing offer made when
+    no positive move exists anywhere (the tournament accepts exactly one).
+    """
+    p = loads.size
+    i = view.part
+    mine, conn, adj = _conn_matrix(view, assign, p)
+    if mine.size == 0:
+        return None
+    vw = view.vwts[mine]
+    cols = np.arange(p)
+    moved_now = (i != home[mine]).astype(np.float64)
+    moved_if = (cols[None, :] != home[mine, None]).astype(np.float64)
+    bal = (
+        _phi(loads[i], maxcap, floor)
+        + _phi(loads[None, :], maxcap, floor)
+        - _phi(loads[i] - vw[:, None], maxcap, floor)
+        - _phi(loads[None, :] + vw[:, None], maxcap, floor)
+    )
+    gain = (
+        conn
+        - conn[:, i][:, None]
+        - cfg.alpha * vw[:, None] * (moved_if - moved_now[:, None])
+        + cfg.beta * bal
+    )
+    gain[:, i] = -np.inf
+    dead = np.ones(p, dtype=bool)
+    dead[live] = False
+    gain[:, dead] = -np.inf
+    gain[conn <= 0.0] = -np.inf  # boundary moves only
+    gain[locked[mine], :] = -np.inf  # a vertex moves once per pass
+    best = np.argmax(gain, axis=1)
+    bg = gain[np.arange(mine.size), best]
+    if escape:
+        top = int(np.argmax(bg))
+        rows = np.array([top], dtype=np.int64) if np.isfinite(bg[top]) else \
+            np.empty(0, dtype=np.int64)
+    else:
+        rows = np.flatnonzero(bg > 0.0)
+    if rows.size == 0:
+        return None
+    static = (
+        conn[rows, best[rows]]
+        - conn[rows, i]
+        - cfg.alpha * vw[rows] * (moved_if[rows, best[rows]] - moved_now[rows])
+    )
+    return _pack_proposal(
+        i, mine[rows], best[rows], bg[rows], static, vw[rows], rows, adj
+    )
+
+
+def _propose_rebalance(view, assign, home, loads, live, cfg, locked, maxcap):
+    """Donations from an overweight part: candidates ordered by least cut
+    damage toward the lightest underweight live parts (teleports allowed),
+    cumulative weight just covering the excess, at most ``rebalance_cap``."""
+    i = view.part
+    if loads[i] <= maxcap:
+        return None
+    p = loads.size
+    mine, conn, adj = _conn_matrix(view, assign, p)
+    if mine.size == 0:
+        return None
+    # any strictly lighter live part may receive: weight *diffuses* along
+    # part boundaries toward the light end over successive rounds instead
+    # of teleporting straight to the global minimum and leaving islands
+    under = [r for r in live if r != i and loads[r] < loads[i]]
+    if not under:
+        return None
+    under = np.asarray(under, dtype=np.int64)
+    # lightest-first, id-stable: argmax below prefers the max-connectivity
+    # target, and on all-zero rows (no lighter neighbor — the teleport
+    # fallback) the lightest lighter part
+    under = under[np.lexsort((under, loads[under]))]
+    vw = view.vwts[mine]
+    sub = conn[:, under]
+    jidx = np.argmax(sub, axis=1)
+    j = under[jidx]
+    cj = sub[np.arange(mine.size), jidx]
+    moved_now = (i != home[mine]).astype(np.float64)
+    moved_if = (j != home[mine]).astype(np.float64)
+    static = cj - conn[:, i] - cfg.alpha * vw * (moved_if - moved_now)
+    cand = np.flatnonzero(~locked[mine])
+    if cand.size == 0:
+        return None
+    order = np.lexsort((mine[cand], -static[cand]))
+    cand = cand[order]
+    excess = float(loads[i] - maxcap)
+    take = int(np.searchsorted(np.cumsum(vw[cand]), excess) + 1)
+    cand = cand[: min(take, cfg.rebalance_cap)]
+    return _pack_proposal(
+        i, mine[cand], j[cand], static[cand], static[cand], vw[cand], cand, adj
+    )
+
+
+# ---------------------------------------------------------------------- #
+# resolve
+# ---------------------------------------------------------------------- #
+
+
+def _resolve(
+    props,
+    assign,
+    loads,
+    counts,
+    locked,
+    maxcap,
+    floor,
+    home,
+    cfg: DKLConfig,
+    rnd: int,
+    rebalance: bool,
+    escape: bool = False,
+):
+    """Replay the deterministic tournament — identical on every rank given
+    the same allgathered ``props``.  Mutates ``assign``/``loads``/
+    ``counts``/``locked`` in place; returns the accepted move records.
+    ``escape`` accepts exactly one admissible candidate regardless of the
+    sign of its gain — the hill-climbing step; the pass-end rollback
+    guarantees a bad escape can never survive into the result.
+
+    Candidates are visited in ``(-prio, seeded part rotation, vertex id)``
+    order.  A vertex moves at most once per round (``locked``), but its
+    neighbors are *not* locked: when an earlier acceptance touched the
+    neighborhood, the candidate's gain is recomputed exactly from the edge
+    list its proposal carries — so a coherent front can cascade through a
+    single round with no stale-gain accounting, instead of advancing one
+    independent set per round."""
+    props = [q for q in props if q is not None and q["v"].size]
+    if not props:
+        return []
+    p = loads.size
+    v = np.concatenate([q["v"] for q in props])
+    dst = np.concatenate([q["dst"] for q in props])
+    prio = np.concatenate([q["prio"] for q in props])
+    static = np.concatenate([q["static"] for q in props])
+    vw = np.concatenate([q["vw"] for q in props])
+    part = np.concatenate(
+        [np.full(q["v"].size, q["part"], dtype=np.int64) for q in props]
+    )
+    adj = np.concatenate([q["adj"] for q in props])
+    adj_w = np.concatenate([q["adj_w"] for q in props])
+    widths = np.concatenate([np.diff(q["e_off"]) for q in props])
+    starts = np.zeros(widths.size, dtype=np.int64)
+    np.cumsum(widths[:-1], out=starts[1:])
+    tie = (part + cfg.seed + rnd) % p
+    order = np.lexsort((v, tie, -prio))
+
+    accepted = []
+    for k in order:
+        vid = int(v[k])
+        if locked[vid]:
+            continue
+        i, j = int(assign[vid]), int(dst[k])
+        if counts[i] <= 1:
+            continue  # never empty a live part
+        s, e = int(starts[k]), int(starts[k] + widths[k])
+        nbrs = adj[s:e]
+        w = float(vw[k])
+        if locked[nbrs].any():
+            # the neighborhood changed this round: redo the cut+migration
+            # component against the live assignment (exact, O(deg))
+            nasg = assign[nbrs]
+            ws = adj_w[s:e]
+            st = float(ws[nasg == j].sum()) - float(ws[nasg == i].sum())
+            if cfg.alpha:
+                h = int(home[vid])
+                st -= cfg.alpha * w * (float(j != h) - float(i != h))
+        else:
+            st = float(static[k])
+        after = loads[j] + w
+        bal = (
+            _phi(loads[i], maxcap, floor)
+            + _phi(loads[j], maxcap, floor)
+            - _phi(loads[i] - w, maxcap, floor)
+            - _phi(after, maxcap, floor)
+        )
+        g = st + cfg.beta * float(bal)
+        if rebalance:
+            if loads[i] <= maxcap:
+                continue  # donor already back inside the envelope
+            if after > maxcap and after > loads[i] - w:
+                continue  # would just relocate the peak
+        else:
+            if after > maxcap and after > loads[i]:
+                continue  # KL balance envelope
+            if g <= 0.0 and not escape:
+                continue
+        assign[vid] = j
+        loads[i] -= w
+        loads[j] += w
+        counts[i] -= 1
+        counts[j] += 1
+        locked[vid] = True
+        accepted.append(
+            {
+                "v": vid,
+                "src": i,
+                "dst": j,
+                "vw": w,
+                "gain": g,
+                "prio": float(prio[k]),
+                "adj": nbrs.copy(),
+                "adj_w": adj_w[s:e].copy(),
+            }
+        )
+        if escape:
+            break  # exactly one hill-climbing move per escape round
+    return accepted
+
+
+def _absorb_accepted(views, accepted) -> None:
+    """Fold the winners into the local views: the destination part learns
+    each adopted root's weight and incident edges from the proposal
+    payload (no extra messages needed)."""
+    for part, view in views.items():
+        recs = [r for r in accepted if r["dst"] == part]
+        if not recs:
+            continue
+        v_ids = np.array([r["v"] for r in recs], dtype=np.int64)
+        v_wts = np.array([r["vw"] for r in recs], dtype=np.float64)
+        keys = []
+        wts = []
+        for r in recs:
+            a = np.minimum(r["adj"], r["v"])
+            b = np.maximum(r["adj"], r["v"])
+            keys.append(edge_keys(a, b, view.n))
+            wts.append(r["adj_w"])
+        view.absorb(
+            v_ids,
+            v_wts,
+            np.concatenate(keys) if keys else np.empty(0, np.int64),
+            np.concatenate(wts) if wts else np.empty(0, np.float64),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# the round loop (shared by the serial and SPMD drivers)
+# ---------------------------------------------------------------------- #
+
+
+def _refine_loop(
+    n_roots, p, views, assign, home, loads, live, cfg, wmax, exchange,
+    my_parts, trace=None,
+):
+    live = sorted(int(r) for r in live)
+    mean = float(loads[live].sum()) / len(live) if live else 0.0
+    # vertex-granularity balance band, same rule as the KL engine: the
+    # envelope can never be tighter than half the heaviest root
+    band = max(cfg.balance_tol * mean, 0.5 * float(wmax))
+    maxcap = mean + band
+    floor = mean - band
+    counts = np.bincount(assign, minlength=p).astype(np.int64)
+    locked = np.zeros(n_roots, dtype=bool)
+    grnd = 0
+
+    for pss in range(cfg.max_passes):
+        locked[:] = False
+        # cumulative exact objective delta of this pass and its move log —
+        # every rank replays the same accepts, so rollback is in lockstep
+        cum = 0.0
+        best_cum = 0.0
+        best_len = 0
+        log = []
+        escapes = 0
+        for rnd in range(cfg.max_rounds):
+            with PERF.span("dkl.propose"):
+                local = {
+                    part: _propose_moves(
+                        views[part], assign, home, loads, live, cfg, maxcap,
+                        floor, locked,
+                    )
+                    for part in my_parts
+                }
+            props = exchange(local)
+            with PERF.span("dkl.resolve"):
+                moved = _resolve(
+                    props, assign, loads, counts, locked, maxcap, floor,
+                    home, cfg, grnd, rebalance=False,
+                )
+            _absorb_accepted(views, moved)
+
+            esc = []
+            if not moved and escapes < cfg.escape_cap:
+                escapes += 1
+                # no positive move anywhere: offer each part's single
+                # least-damaging move and accept the best one — KL's
+                # hill-climb across objective ridges, batch edition
+                with PERF.span("dkl.propose"):
+                    local = {
+                        part: _propose_moves(
+                            views[part], assign, home, loads, live, cfg,
+                            maxcap, floor, locked, escape=True,
+                        )
+                        for part in my_parts
+                    }
+                props = exchange(local)
+                with PERF.span("dkl.resolve"):
+                    esc = _resolve(
+                        props, assign, loads, counts, locked, maxcap, floor,
+                        home, cfg, grnd, rebalance=False, escape=True,
+                    )
+                _absorb_accepted(views, esc)
+
+            rb = []
+            if np.any(loads[live] > maxcap):
+                with PERF.span("dkl.rebalance"):
+                    local = {
+                        part: _propose_rebalance(
+                            views[part], assign, home, loads, live, cfg,
+                            locked, maxcap,
+                        )
+                        for part in my_parts
+                    }
+                props = exchange(local)
+                with PERF.span("dkl.rebalance"):
+                    rb = _resolve(
+                        props, assign, loads, counts, locked, maxcap, floor,
+                        home, cfg, grnd, rebalance=True,
+                    )
+                _absorb_accepted(views, rb)
+
+            # accepted gains are exact objective deltas: track the best
+            # prefix at single-move granularity, in application order
+            for m in moved + esc + rb:
+                cum += m["gain"]
+                log.append((m["v"], m["src"], m["dst"], m["vw"]))
+                if cum > best_cum + cfg.min_gain:
+                    best_cum = cum
+                    best_len = len(log)
+            if trace is not None:
+                trace.append(
+                    {
+                        "round": grnd,
+                        "pass": pss,
+                        "moves": moved,
+                        "escape": esc,
+                        "rebalance": rb,
+                    }
+                )
+            grnd += 1
+            if not moved and not esc and not rb:
+                break
+            if len(log) - best_len >= cfg.stall:
+                break  # the tail would be rolled back anyway
+
+        # roll back the suffix after the best prefix (lockstep: same log
+        # on every rank) — the views keep their superset knowledge and
+        # the final prune restores the exact incident set
+        undone = []
+        for v, src, dst, w in reversed(log[best_len:]):
+            assign[v] = src
+            loads[dst] -= w
+            loads[src] += w
+            counts[dst] -= 1
+            counts[src] += 1
+            undone.append({"v": int(v), "to": int(src)})
+        if trace is not None and undone:
+            trace.append({"pass": pss, "rollback": undone})
+        if best_cum <= cfg.min_gain:
+            break
+
+    for view in views.values():
+        view.prune(assign)
+    return assign
+
+
+# ---------------------------------------------------------------------- #
+# drivers
+# ---------------------------------------------------------------------- #
+
+
+def dkl_refine_serial(
+    graph, p, current, cfg: DKLConfig = None, live=None, return_trace=False
+):
+    """Single-thread reference engine: every part's propose step runs in a
+    rank loop instead of an allgather, through the exact code the SPMD path
+    runs — the two are bit-identical by construction (and by test).
+
+    Returns the refined assignment, or ``(assignment, trace)`` with
+    ``return_trace=True`` where ``trace[k]`` records round ``k``'s accepted
+    moves and rebalance donations (the property-test surface).
+    """
+    cfg = cfg if cfg is not None else DKLConfig()
+    assign = np.asarray(current, dtype=np.int64).copy()
+    home = assign.copy()
+    n = graph.n_vertices
+    live = sorted(int(r) for r in (live if live is not None else range(p)))
+    views = {part: PartView.from_graph(graph, part, assign) for part in live}
+    loads = np.bincount(
+        assign, weights=graph.vwts, minlength=p
+    ).astype(np.float64)
+    wmax = float(graph.vwts.max()) if n else 0.0
+    trace = [] if return_trace else None
+
+    def exchange(local):
+        return [local[part] for part in live]
+
+    _refine_loop(
+        n, p, views, assign, home, loads, live, cfg, wmax, exchange,
+        my_parts=live, trace=trace,
+    )
+    return (assign, trace) if return_trace else assign
+
+
+def dkl_refine_comm(comm, view: PartView, owner, loads, wmax, live, cfg, group=None):
+    """SPMD distributed refinement: this rank proposes for its own part,
+    proposals travel by allgather (tag :data:`PROPOSAL_TAG`), and every
+    rank replays the same resolve — the returned assignment is
+    replica-identical without coordinator involvement.
+
+    ``view`` is this rank's halo view (from
+    :meth:`~repro.pared.distmesh.DistributedMesh.exchange_halo_weights`);
+    it is updated in place as roots change hands and pruned to the final
+    assignment on return, ready for the honesty audit.  ``loads``/``wmax``
+    come from the coordinator's imbalance-check broadcast.
+    """
+    assign = np.asarray(owner, dtype=np.int64).copy()
+    home = assign.copy()
+    loads = np.asarray(loads, dtype=np.float64).copy()
+    views = {comm.rank: view}
+
+    def exchange(local):
+        return list(
+            comm.allgather(local[comm.rank], tag=PROPOSAL_TAG, ranks=group)
+        )
+
+    return _refine_loop(
+        view.n, loads.size, views, assign, home, loads, live, cfg, wmax,
+        exchange, my_parts=[comm.rank],
+    )

@@ -1,4 +1,4 @@
-"""Named repartitioner registry: ``pnr`` / ``mlkl`` / ``sfc``.
+"""Named repartitioner registry: ``pnr`` / ``mlkl`` / ``sfc`` / ``dkl``.
 
 The PARED drivers (:mod:`repro.pared.system`, :mod:`repro.pared.workflow`)
 and the CLI select the coordinator's repartitioning strategy by name.  A
@@ -30,12 +30,20 @@ Strategies
     with the current vertex weights (:mod:`repro.partition.sfc`).
     O(n log n) once, O(n) per re-split, small migration by construction —
     the cheap high-throughput baseline.
+``dkl``
+    Distributed boundary refinement
+    (:mod:`repro.partition.distributed`): per-part propose / deterministic
+    tie-break resolve / bounded rebalance under the Equation-1 gain.  This
+    registry entry runs the serial reference engine; inside the PARED
+    system the same code runs SPMD with neighbor-to-neighbor halo
+    exchange and no coordinator in the refinement loop.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.partition.distributed import DKLConfig, dkl_refine_serial
 from repro.partition.multilevel import multilevel_partition
 from repro.partition.permute import (
     apply_permutation,
@@ -50,6 +58,7 @@ __all__ = [
     "PNRRepartitioner",
     "MLKLRepartitioner",
     "SFCRepartitioner",
+    "DKLRepartitioner",
 ]
 
 
@@ -145,11 +154,36 @@ class SFCRepartitioner:
         return self._partition(graph, p, coords)
 
 
+class DKLRepartitioner:
+    """Distributed boundary refinement, serial reference engine.
+
+    ``initial`` matches the pnr bootstrap bit-for-bit (the golden PARED
+    metrics pin that path); ``repartition`` runs the
+    propose/resolve/rebalance tournament of
+    :mod:`repro.partition.distributed` from a single thread — bit-identical
+    to the SPMD neighbor-exchange path the PARED system runs.
+    """
+
+    name = "dkl"
+
+    def __init__(self, alpha=0.1, beta=0.8, seed=0, balance_tol=0.02):
+        self.cfg = DKLConfig(
+            alpha=alpha, beta=beta, seed=seed, balance_tol=balance_tol
+        )
+
+    def initial(self, graph, p, coords=None):
+        return multilevel_partition(graph, p, seed=self.cfg.seed)
+
+    def repartition(self, graph, p, current, coords=None):
+        return dkl_refine_serial(graph, p, current, self.cfg)
+
+
 #: name -> strategy class; the CLI's ``--partitioner`` choices come from here
 PARTITIONERS = {
     "pnr": PNRRepartitioner,
     "mlkl": MLKLRepartitioner,
     "sfc": SFCRepartitioner,
+    "dkl": DKLRepartitioner,
 }
 
 
@@ -181,4 +215,8 @@ def make_repartitioner(name: str, pnr=None, curve: str = "morton",
         )
     if name == "mlkl":
         return MLKLRepartitioner(seed=seed, balance_tol=max(balance_tol, 0.03))
+    if name == "dkl":
+        return DKLRepartitioner(
+            alpha=alpha, beta=beta, seed=seed, balance_tol=balance_tol
+        )
     return SFCRepartitioner(curve=curve, bits=bits)

@@ -17,6 +17,7 @@ from repro.testing.bruteforce import (
 from repro.testing.invariants import (
     InvariantViolation,
     check_dual_graph_weights,
+    check_halo_weights,
     check_history_agreement,
     check_migration_conservation,
     check_monotone_refinement,
@@ -30,6 +31,7 @@ __all__ = [
     "check_partition_validity",
     "check_migration_conservation",
     "check_dual_graph_weights",
+    "check_halo_weights",
     "check_monotone_refinement",
     "check_replica_agreement",
     "check_recovery_partition",

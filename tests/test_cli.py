@@ -73,6 +73,26 @@ class TestCommands:
         assert "thread backend" in out
         assert "P2:" in out
 
+    def test_pared_phase_report(self, capsys):
+        assert main(["pared", "--p", "2", "--n", "6", "--rounds", "2",
+                     "--phase-report"]) == 0
+        out = capsys.readouterr().out
+        assert "PARED phase timing" in out
+        for col in ("phase", "calls", "seconds", "share", "ms/call"):
+            assert col in out
+        for row in ("pared.P0", "pared.P3"):
+            assert row in out
+
+    def test_pared_dkl_partitioner(self, capsys):
+        assert main(["pared", "--p", "2", "--n", "6", "--rounds", "2",
+                     "--partitioner", "dkl", "--phase-report"]) == 0
+        out = capsys.readouterr().out
+        assert "dkl partitioner" in out
+        # refinement traffic is attributed to its own phase label and the
+        # tournament steps appear in the timing table
+        assert "dkl:" in out
+        assert "dkl.propose" in out and "dkl.resolve" in out
+
     def test_pared_process_transport(self, capsys):
         assert main(["pared", "--p", "2", "--n", "6", "--rounds", "1",
                      "--transport", "process"]) == 0

@@ -201,10 +201,11 @@ class TestFullLoop:
         report = stats.phase_report()
         assert report.get("P2", (0, 0))[0] >= 3 * 2  # 2 senders x 3 rounds
 
-    @pytest.mark.parametrize("partitioner", ["mlkl", "sfc"])
+    @pytest.mark.parametrize("partitioner", ["mlkl", "sfc", "dkl"])
     def test_run_pared_alternate_partitioners(self, partitioner):
         """The full P0–P3 loop works with every registry strategy, not just
-        the default pnr path."""
+        the default pnr path.  The dkl leg runs audited, so every round
+        also proves the halo views match a brute-force recount."""
         prob = CornerLaplace2D()
 
         def marker(amesh, rnd):
@@ -218,6 +219,7 @@ class TestFullLoop:
             rounds=3,
             pnr=PNR(seed=0),
             partitioner=partitioner,
+            audit=partitioner == "dkl",
         )
         histories, _ = run_pared(cfg)
         assert len(histories) == 3
@@ -381,7 +383,7 @@ class TestTransportParity:
     changes only how bytes move between ranks — never what they say."""
 
     @staticmethod
-    def _cfg(transport):
+    def _cfg(transport, partitioner="pnr"):
         prob = CornerLaplace2D()
 
         def marker(amesh, rnd):
@@ -395,11 +397,11 @@ class TestTransportParity:
             rounds=2,
             pnr=PNR(seed=0),
             transport=transport,
+            partitioner=partitioner,
         )
 
-    def test_process_run_matches_thread_bit_for_bit(self):
-        hist_t, stats_t = run_pared(self._cfg("thread"))
-        hist_p, stats_p = run_pared(self._cfg("process"))
+    @staticmethod
+    def _assert_bit_identical(hist_t, stats_t, hist_p, stats_p):
         for per_rank_t, per_rank_p in zip(hist_t, hist_p):
             for a, b in zip(per_rank_t, per_rank_p):
                 assert a["leaves"] == b["leaves"]
@@ -413,3 +415,16 @@ class TestTransportParity:
         # message and byte counts, same pair matrix
         assert stats_t.phase_report() == stats_p.phase_report()
         assert dict(stats_t.by_pair) == dict(stats_p.by_pair)
+
+    def test_process_run_matches_thread_bit_for_bit(self):
+        hist_t, stats_t = run_pared(self._cfg("thread"))
+        hist_p, stats_p = run_pared(self._cfg("process"))
+        self._assert_bit_identical(hist_t, stats_t, hist_p, stats_p)
+
+    def test_dkl_process_run_matches_thread_bit_for_bit(self):
+        """The distributed-refinement tournament must replay identically on
+        both wires — including the halo exchange and proposal allgathers."""
+        hist_t, stats_t = run_pared(self._cfg("thread", partitioner="dkl"))
+        hist_p, stats_p = run_pared(self._cfg("process", partitioner="dkl"))
+        self._assert_bit_identical(hist_t, stats_t, hist_p, stats_p)
+        assert "dkl" in stats_t.phase_report()  # refinement actually ran

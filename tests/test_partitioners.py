@@ -1,5 +1,5 @@
 """Tests for RSB, geometric RCB, greedy growing, Multilevel-KL and the
-named repartitioner registry (pnr / mlkl / sfc)."""
+named repartitioner registry (pnr / mlkl / sfc / dkl)."""
 
 import numpy as np
 import pytest
@@ -206,7 +206,7 @@ def test_rsb_covers_all_labels(p, seed):
 
 
 # ---------------------------------------------------------------------- #
-# the named repartitioner registry (pnr / mlkl / sfc)
+# the named repartitioner registry (pnr / mlkl / sfc / dkl)
 # ---------------------------------------------------------------------- #
 
 
@@ -223,13 +223,13 @@ class TestRegistry:
     P = 4
 
     def test_names(self):
-        assert available_partitioners() == ("pnr", "mlkl", "sfc")
+        assert available_partitioners() == ("pnr", "mlkl", "sfc", "dkl")
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="unknown partitioner"):
             make_repartitioner("metis")
 
-    @pytest.mark.parametrize("name", ("pnr", "mlkl", "sfc"))
+    @pytest.mark.parametrize("name", ("pnr", "mlkl", "sfc", "dkl"))
     def test_initial_conformance(self, name):
         g, coords = grid_with_coords(8)
         a = make_repartitioner(name).initial(g, self.P, coords=coords)
@@ -237,7 +237,7 @@ class TestRegistry:
         assert set(np.unique(a)) == set(range(self.P))
         assert graph_imbalance(g, a, self.P) < 0.35
 
-    @pytest.mark.parametrize("name", ("pnr", "mlkl", "sfc"))
+    @pytest.mark.parametrize("name", ("pnr", "mlkl", "sfc", "dkl"))
     def test_repartition_conformance(self, name):
         # weights skewed toward one corner, as after local refinement
         vw = np.ones(64)
@@ -250,7 +250,7 @@ class TestRegistry:
         assert set(np.unique(a1)) == set(range(self.P))
         assert graph_imbalance(g, a1, self.P) < 0.35
 
-    @pytest.mark.parametrize("name", ("pnr", "mlkl", "sfc"))
+    @pytest.mark.parametrize("name", ("pnr", "mlkl", "sfc", "dkl"))
     def test_deterministic(self, name):
         g, coords = grid_with_coords(8)
         runs = []

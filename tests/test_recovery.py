@@ -42,7 +42,8 @@ def _marker(amesh, rnd):
     return amesh.leaf_ids()[order], []
 
 
-def _cfg(faults=None, recover=True, audit=True, rounds=_ROUNDS):
+def _cfg(faults=None, recover=True, audit=True, rounds=_ROUNDS,
+         partitioner="pnr"):
     return ParedConfig(
         p=_P,
         make_mesh=lambda: AdaptiveMesh.unit_square(4),
@@ -52,6 +53,7 @@ def _cfg(faults=None, recover=True, audit=True, rounds=_ROUNDS):
         faults=faults,
         audit=audit,
         recover=recover,
+        partitioner=partitioner,
     )
 
 
@@ -284,6 +286,18 @@ class TestCrashRecoveryLadder:
         h1, _ = run_pared(_cfg(plan))
         h2, _ = run_pared(_cfg(plan))
         assert _canon(h1) == _canon(h2)
+
+    @pytest.mark.parametrize("crash_rank", [0, 1, 2])
+    def test_crash_under_dkl_replays_bit_identically(self, crash_rank):
+        """Crash recovery with the distributed refinement strategy: every
+        crash point (including the coordinator, whose only dkl-round job
+        is the imbalance check) must be survivable and two same-seed runs
+        must recover onto identical histories."""
+        plan = FaultPlan(seed=0, crash_rank=crash_rank, crash_at_op=12)
+        h1, s1 = run_pared(_cfg(plan, partitioner="dkl"))
+        h2, _ = run_pared(_cfg(plan, partitioner="dkl"))
+        assert _canon(h1) == _canon(h2)
+        _assert_survivable_outcome(h1, s1, crash_rank)
 
     def test_recovery_under_message_chaos_is_replayable(self):
         plan = FaultPlan(
