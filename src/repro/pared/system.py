@@ -53,7 +53,11 @@ from repro.pared.weights import (
     merge_fresh_values,
     split_edge_keys,
 )
-from repro.partition.distributed import DKLConfig, dkl_refine_comm
+from repro.partition.distributed import (
+    DKLConfig,
+    dkl_ml_refine_comm,
+    dkl_refine_comm,
+)
 from repro.partition.registry import make_repartitioner
 from repro.perf import PERF
 from repro.runtime.faults import FaultPlan
@@ -81,6 +85,10 @@ from repro.testing import (
 
 #: collective-commit tag: no rank returns before every live rank finished
 COMMIT_TAG = 73
+
+#: strategies that run the decentralized round shape (neighbor halo P2,
+#: SPMD tournament P3, no coordinator graph)
+_DKL_FAMILY = ("dkl", "dkl-ml")
 
 
 @dataclass
@@ -139,11 +147,13 @@ class ParedConfig:
         space-filling-curve splitting of the coarse-root centroids —
         O(n log n), incremental, the cheap high-throughput baseline), or
         ``"dkl"`` (distributed boundary refinement,
-        :mod:`repro.partition.distributed`).  Under ``dkl`` the round is
-        restructured: P2 weight exchange is neighbor-to-neighbor halo
-        traffic instead of all-to-coordinator, the coordinator keeps only
-        the O(p) scalar imbalance check, and refinement runs SPMD on
-        every rank (phase label ``dkl``).
+        :mod:`repro.partition.distributed`), or ``"dkl-ml"`` (its
+        multilevel flavour: intra-part coarsening around the same
+        tournament).  Under the dkl family the round is restructured: P2
+        weight exchange is neighbor-to-neighbor halo traffic instead of
+        all-to-coordinator, the coordinator keeps only the O(p) scalar
+        imbalance check, and refinement runs SPMD on every rank (phase
+        label ``dkl``).
     sfc_curve:
         Curve of the ``sfc`` strategy: ``"morton"`` (default) or
         ``"hilbert"``.  Ignored by the graph-based strategies.
@@ -272,7 +282,7 @@ def _pared_setup(comm, cfg: ParedConfig, live) -> _RankState:
     # distributed and travel neighbor-to-neighbor in P2
     coord_graph = (
         _CoordinatorGraph(amesh.n_roots)
-        if comm.rank == C and cfg.partitioner != "dkl"
+        if comm.rank == C and cfg.partitioner not in _DKL_FAMILY
         else None
     )
     return _RankState(
@@ -290,7 +300,7 @@ def _pared_setup(comm, cfg: ParedConfig, live) -> _RankState:
 def _pared_round(comm, cfg: ParedConfig, st: _RankState, rnd: int) -> None:
     amesh, dmesh, C = st.amesh, st.dmesh, st.coordinator
     live = dmesh.live
-    dkl = cfg.partitioner == "dkl"
+    dkl = cfg.partitioner in _DKL_FAMILY
 
     # ---- P0: adapt ------------------------------------------------ #
     tick = perf_counter()
@@ -364,7 +374,12 @@ def _pared_round(comm, cfg: ParedConfig, st: _RankState, rnd: int) -> None:
                 seed=cfg.pnr.seed,
                 balance_tol=cfg.pnr.balance_tol,
             )
-            assign = dkl_refine_comm(
+            refine = (
+                dkl_ml_refine_comm
+                if cfg.partitioner == "dkl-ml"
+                else dkl_refine_comm
+            )
+            assign = refine(
                 comm,
                 view,
                 dmesh.owner,
@@ -516,7 +531,7 @@ def _recover(comm, cfg: ParedConfig, store: CheckpointStore, flush_seen: dict):
     store.discard_after(decision)
     C = cfg.coordinator if cfg.coordinator in live else live[0]
     coordinator_changed = C != ckpt.coordinator
-    dkl = cfg.partitioner == "dkl"
+    dkl = cfg.partitioner in _DKL_FAMILY
     if coordinator_changed or dkl:
         # a freshly promoted P_C starts with an empty G; every survivor
         # resets its delta baseline so the next round's P2 carries full

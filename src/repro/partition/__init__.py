@@ -20,11 +20,12 @@ And the pieces they share: the p-way Kernighan–Lin refinement engine
 (:mod:`repro.partition.kl`, also the host of PNR's modified gain function),
 the distributed propose/resolve/rebalance refinement pass
 (:mod:`repro.partition.distributed` — the coordinator-free ``dkl``
-strategy), greedy graph growing for coarsest-level partitions, the
-Biswas–Oliker subset permutation that minimizes data movement [5],
-partition metrics, and the named repartitioner registry
-(:mod:`repro.partition.registry`: ``pnr``/``mlkl``/``sfc``/``dkl``) the
-PARED drivers and CLI select strategies from.
+strategy and its multilevel ``dkl-ml`` flavour), greedy graph growing for
+coarsest-level partitions, the Biswas–Oliker subset permutation that
+minimizes data movement [5], partition metrics, and the named
+repartitioner registry (:mod:`repro.partition.registry`:
+``pnr``/``mlkl``/``sfc``/``dkl``/``dkl-ml``) the PARED drivers and CLI
+select strategies from.
 """
 
 from repro.partition.metrics import (
@@ -39,6 +40,8 @@ from repro.partition.kl import KLConfig, kl_refine
 from repro.partition.distributed import (
     DKLConfig,
     PartView,
+    dkl_ml_refine_comm,
+    dkl_ml_refine_serial,
     dkl_refine_comm,
     dkl_refine_serial,
 )
@@ -79,6 +82,8 @@ __all__ = [
     "kl_refine",
     "DKLConfig",
     "PartView",
+    "dkl_ml_refine_comm",
+    "dkl_ml_refine_serial",
     "dkl_refine_comm",
     "dkl_refine_serial",
     "PARTITIONERS",

@@ -69,6 +69,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.graph.csr import WeightedGraph
+from repro.graph.matching import heavy_edge_matching
 from repro.perf import PERF
 
 __all__ = [
@@ -76,11 +78,22 @@ __all__ = [
     "PartView",
     "dkl_refine_serial",
     "dkl_refine_comm",
+    "dkl_ml_refine_serial",
+    "dkl_ml_refine_comm",
+    "pack_proposal_frame",
+    "unpack_proposal_frame",
 ]
 
 #: allgather tag of the proposal rounds (propose and rebalance share it:
 #: the wire is tag-matched FIFO, so alternating batches cannot cross)
 PROPOSAL_TAG = 45
+#: point-to-point tag of the multilevel projection handoff (losers ship
+#: the fine payloads of roots the coarse tournament moved away)
+HANDOFF_TAG = 46
+#: allgather tag of the per-part matchings (one per coarsening level)
+MATCHING_TAG = 47
+#: allreduce tag of the coarse-level max-vertex-weight reduction
+REDUCE_TAG = 48
 
 
 def edge_keys(a, b, n_roots: int) -> np.ndarray:
@@ -131,6 +144,10 @@ class DKLConfig:
     #: a pass must keep at least this much objective improvement for
     #: another pass to start
     min_gain: float = 1e-9
+    #: coarsening levels of the multilevel drivers (``dkl-ml``): each level
+    #: halves the boundary subgraph by intra-part heavy-edge matching
+    #: before the tournament runs; the flat drivers ignore this knob
+    ml_levels: int = 1
 
 
 class PartView:
@@ -287,19 +304,94 @@ def _pack_proposal(part, v, dst, prio, static, vw, rows, adj):
     }
 
 
-def _propose_moves(
-    view: PartView, assign, home, loads, live, cfg: DKLConfig, maxcap, floor,
-    locked, escape=False,
-):
-    """This part's best strictly-positive Equation-1 move per unlocked
-    boundary root, or ``None``.  ``prio`` is the full gain at round-start
-    loads (the tournament key); ``static`` is the cut+migration component —
-    the balance term is recomputed against live loads at accept time.
+def pack_proposal_frame(prop):
+    """Pack one part's proposal into a struct-of-arrays frame
+    ``(head, ints, floats)`` for the wire: the codec serializes three
+    contiguous buffers instead of a dict of nine objects, and the integer
+    payload rides as int32 whenever every id fits (the common case — root
+    ids are bounded by the mesh size), which halves the index half of the
+    frame.  ``None`` (no proposal) packs to empty arrays.
 
-    With ``escape=True`` the sign requirement is dropped and only the
-    single best candidate is proposed: the hill-climbing offer made when
-    no positive move exists anywhere (the tournament accepts exactly one).
+    Layout: ``head = [part, n, m, int_width]`` (int64; ``int_width`` is 4
+    or 8), ``ints = v ++ dst ++ e_off(n+1) ++ adj`` at the declared width,
+    ``floats = prio ++ static ++ vw ++ adj_w`` (always float64 — the
+    priorities feed the deterministic tournament, so they must travel
+    bit-exact).
     """
+    if prop is None:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    v = np.asarray(prop["v"], dtype=np.int64)
+    adj = np.asarray(prop["adj"], dtype=np.int64)
+    ints = np.concatenate(
+        [v, np.asarray(prop["dst"], dtype=np.int64),
+         np.asarray(prop["e_off"], dtype=np.int64), adj]
+    )
+    info = np.iinfo(np.int32)
+    if ints.size == 0 or (
+        int(ints.min()) >= info.min and int(ints.max()) <= info.max
+    ):
+        ints = ints.astype(np.int32)
+        width = 4
+    else:
+        width = 8  # ids beyond int32: ship verbatim (exactness first)
+    head = np.array([prop["part"], v.size, adj.size, width], dtype=np.int64)
+    floats = np.concatenate(
+        [np.asarray(prop["prio"], dtype=np.float64),
+         np.asarray(prop["static"], dtype=np.float64),
+         np.asarray(prop["vw"], dtype=np.float64),
+         np.asarray(prop["adj_w"], dtype=np.float64)]
+    )
+    return head, ints, floats
+
+
+def unpack_proposal_frame(frame):
+    """Inverse of :func:`pack_proposal_frame` — bit-identical round trip
+    (the int32 downcast is applied only when lossless, float64 payloads
+    travel verbatim).  Empty frame -> ``None``."""
+    head, ints, floats = frame
+    head = np.asarray(head, dtype=np.int64)
+    floats = np.asarray(floats, dtype=np.float64)
+    if head.size == 0:
+        return None
+    part, n, m = int(head[0]), int(head[1]), int(head[2])
+    ints = np.asarray(ints).astype(np.int64)
+    o = 0
+    v = ints[o : o + n]
+    o += n
+    dst = ints[o : o + n]
+    o += n
+    e_off = ints[o : o + n + 1]
+    o += n + 1
+    adj = ints[o : o + m]
+    return {
+        "part": part,
+        "v": v,
+        "dst": dst,
+        "prio": floats[:n],
+        "static": floats[n : 2 * n],
+        "vw": floats[2 * n : 3 * n],
+        "e_off": e_off,
+        "adj": adj,
+        "adj_w": floats[3 * n :],
+    }
+
+
+def _score_moves(
+    view: PartView, assign, home, loads, live, cfg: DKLConfig, maxcap, floor,
+    locked,
+):
+    """Evaluate this part's full Equation-1 gain matrix once and return the
+    scoring context (best destination and gain per member), or ``None`` for
+    an empty part.  Both the regular and the escape proposal of a round are
+    read off the same context — the expensive :func:`_conn_matrix` pass and
+    gain evaluation happen once, and the escape candidate can be extracted
+    *while the regular proposals are still on the wire* (the escape round
+    only ever runs when the regular round accepted nothing, so the state the
+    context was scored against is still current)."""
     p = loads.size
     i = view.part
     mine, conn, adj = _conn_matrix(view, assign, p)
@@ -329,6 +421,34 @@ def _propose_moves(
     gain[locked[mine], :] = -np.inf  # a vertex moves once per pass
     best = np.argmax(gain, axis=1)
     bg = gain[np.arange(mine.size), best]
+    return {
+        "part": i,
+        "mine": mine,
+        "conn": conn,
+        "adj": adj,
+        "vw": vw,
+        "moved_now": moved_now,
+        "moved_if": moved_if,
+        "best": best,
+        "bg": bg,
+    }
+
+
+def _proposal_from(ctx, cfg: DKLConfig, escape=False):
+    """Extract a wire proposal from a :func:`_score_moves` context: the
+    best strictly-positive move per unlocked boundary root, or ``None``.
+    ``prio`` is the full gain at round-start loads (the tournament key);
+    ``static`` is the cut+migration component — the balance term is
+    recomputed against live loads at accept time.
+
+    With ``escape=True`` the sign requirement is dropped and only the
+    single best candidate is proposed: the hill-climbing offer made when
+    no positive move exists anywhere (the tournament accepts exactly one).
+    """
+    if ctx is None:
+        return None
+    i, mine, conn = ctx["part"], ctx["mine"], ctx["conn"]
+    vw, best, bg = ctx["vw"], ctx["best"], ctx["bg"]
     if escape:
         top = int(np.argmax(bg))
         rows = np.array([top], dtype=np.int64) if np.isfinite(bg[top]) else \
@@ -340,11 +460,24 @@ def _propose_moves(
     static = (
         conn[rows, best[rows]]
         - conn[rows, i]
-        - cfg.alpha * vw[rows] * (moved_if[rows, best[rows]] - moved_now[rows])
+        - cfg.alpha * vw[rows]
+        * (ctx["moved_if"][rows, best[rows]] - ctx["moved_now"][rows])
     )
     return _pack_proposal(
-        i, mine[rows], best[rows], bg[rows], static, vw[rows], rows, adj
+        i, mine[rows], best[rows], bg[rows], static, vw[rows], rows, ctx["adj"]
     )
+
+
+def _propose_moves(
+    view: PartView, assign, home, loads, live, cfg: DKLConfig, maxcap, floor,
+    locked, escape=False,
+):
+    """Score-and-extract in one call (the non-overlapped convenience form
+    of :func:`_score_moves` + :func:`_proposal_from`)."""
+    ctx = _score_moves(
+        view, assign, home, loads, live, cfg, maxcap, floor, locked
+    )
+    return _proposal_from(ctx, cfg, escape=escape)
 
 
 def _propose_rebalance(view, assign, home, loads, live, cfg, locked, maxcap):
@@ -536,6 +669,21 @@ def _absorb_accepted(views, accepted) -> None:
 # ---------------------------------------------------------------------- #
 
 
+class _Ready:
+    """Already-completed exchange handle — the serial drivers' rank loop
+    has the full proposal set the moment it is built, but presents the
+    same post/``wait`` surface as the SPMD iallgather so :func:`_refine_loop`
+    is written once."""
+
+    __slots__ = ("_props",)
+
+    def __init__(self, props):
+        self._props = props
+
+    def wait(self):
+        return self._props
+
+
 def _refine_loop(
     n_roots, p, views, assign, home, loads, live, cfg, wmax, exchange,
     my_parts, trace=None,
@@ -562,14 +710,30 @@ def _refine_loop(
         escapes = 0
         for rnd in range(cfg.max_rounds):
             with PERF.span("dkl.propose"):
-                local = {
-                    part: _propose_moves(
+                ctxs = {
+                    part: _score_moves(
                         views[part], assign, home, loads, live, cfg, maxcap,
                         floor, locked,
                     )
                     for part in my_parts
                 }
-            props = exchange(local)
+                local = {
+                    part: _proposal_from(ctxs[part], cfg)
+                    for part in my_parts
+                }
+            pending = exchange(local, grnd)
+            # overlap window: while the proposal frames are in flight,
+            # prestage the escape offer from the same scoring context.  An
+            # escape round only runs when the regular round accepted
+            # nothing — assignment, loads and locks unchanged since the
+            # context was scored — so this is bit-identical to recomputing
+            # it after the resolve, minus a full _conn_matrix pass
+            with PERF.span("dkl.propose"):
+                esc_local = {
+                    part: _proposal_from(ctxs[part], cfg, escape=True)
+                    for part in my_parts
+                }
+            props = pending.wait()
             with PERF.span("dkl.resolve"):
                 moved = _resolve(
                     props, assign, loads, counts, locked, maxcap, floor,
@@ -583,15 +747,7 @@ def _refine_loop(
                 # no positive move anywhere: offer each part's single
                 # least-damaging move and accept the best one — KL's
                 # hill-climb across objective ridges, batch edition
-                with PERF.span("dkl.propose"):
-                    local = {
-                        part: _propose_moves(
-                            views[part], assign, home, loads, live, cfg,
-                            maxcap, floor, locked, escape=True,
-                        )
-                        for part in my_parts
-                    }
-                props = exchange(local)
+                props = exchange(esc_local, grnd).wait()
                 with PERF.span("dkl.resolve"):
                     esc = _resolve(
                         props, assign, loads, counts, locked, maxcap, floor,
@@ -609,7 +765,7 @@ def _refine_loop(
                         )
                         for part in my_parts
                     }
-                props = exchange(local)
+                props = exchange(local, grnd).wait()
                 with PERF.span("dkl.rebalance"):
                     rb = _resolve(
                         props, assign, loads, counts, locked, maxcap, floor,
@@ -663,6 +819,221 @@ def _refine_loop(
 
 
 # ---------------------------------------------------------------------- #
+# exchange plumbing (serial rank loop vs SPMD iallgather)
+# ---------------------------------------------------------------------- #
+
+
+def _serial_exchange(live):
+    """Exchange for the serial drivers: all parts live in this process, so
+    the allgather is a list comprehension in live-rank order — the same
+    order :meth:`SimComm.allgather` assembles its blocks in."""
+
+    def exchange(local, rnd):
+        return _Ready([local[part] for part in live])
+
+    return exchange
+
+
+class _FramePending:
+    """In-flight proposal exchange: wraps the iallgather
+    :class:`~repro.runtime.simmpi.Request` and unpacks the gathered frames
+    on :meth:`wait`."""
+
+    __slots__ = ("_req",)
+
+    def __init__(self, req):
+        self._req = req
+
+    def wait(self):
+        with PERF.span("dkl.exchange"):
+            frames = self._req.wait()
+        return [unpack_proposal_frame(f) for f in frames]
+
+
+def _comm_exchange(comm, group):
+    """Exchange for the SPMD drivers: pack this rank's proposal into the
+    struct-of-arrays frame, post a nonblocking allgather on
+    :data:`PROPOSAL_TAG`, and account the posted bytes against the round
+    (``dkl.proposals`` in :class:`~repro.runtime.stats.TrafficStats`) —
+    the caller overlaps local scoring with the flight and ``wait()``\\ s
+    before the resolve."""
+
+    def exchange(local, rnd):
+        with PERF.span("dkl.exchange"):
+            frame = pack_proposal_frame(local[comm.rank])
+            req = comm.iallgather(frame, tag=PROPOSAL_TAG, ranks=group)
+        comm.stats.record_round("dkl.proposals", rnd, req.sent_bytes)
+        return _FramePending(req)
+
+    return exchange
+
+
+# ---------------------------------------------------------------------- #
+# multilevel (dkl-ml): intra-part coarsening around the same tournament
+# ---------------------------------------------------------------------- #
+
+
+def _match_part(view: PartView, assign, seed: int):
+    """Deterministic heavy-edge matching of this part's *internal*
+    subgraph (both endpoints members), as global root-id pair arrays
+    ``(a, b)`` with ``a < b``.  A pure function of ``(view, assign, seed)``,
+    so every rank can rebuild the global coarse map from the allgathered
+    pairs without exchanging the subgraphs themselves."""
+    i = view.part
+    assign = np.asarray(assign)
+    mine = np.flatnonzero(assign == i)
+    empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    if mine.size < 2:
+        return empty
+    a, b = split_edge_keys(view.e_keys, view.n)
+    keep = (assign[a] == i) & (assign[b] == i)
+    if not keep.any():
+        return empty
+    la = np.searchsorted(mine, a[keep])
+    lb = np.searchsorted(mine, b[keep])
+    sub = WeightedGraph.from_edges(
+        mine.size,
+        np.column_stack([la, lb]),
+        view.e_wts[keep],
+        view.vwts[mine],
+    )
+    mate = heavy_edge_matching(sub, seed=seed)
+    loc = np.flatnonzero(mate > np.arange(mine.size))
+    return mine[loc], mine[mate[loc]]
+
+
+def _combine_matchings(n: int, pairs_list):
+    """Global coarse map from the allgathered per-part matchings: merge the
+    (disjoint — parts partition the roots) pair sets into one involution,
+    name each coarse vertex by its minimum member, and densify the names in
+    sorted order.  Identical on every rank given the same gathered pairs."""
+    mate = np.arange(n, dtype=np.int64)
+    for a, b in pairs_list:
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        mate[a] = b
+        mate[b] = a
+    reps = np.minimum(np.arange(n, dtype=np.int64), mate)
+    uniq, cmap = np.unique(reps, return_inverse=True)
+    return cmap.astype(np.int64), int(uniq.size)
+
+
+def _contract_view(view: PartView, cmap, nc: int, assign):
+    """This part's halo view of the contracted graph: incident edges mapped
+    through ``cmap`` (collapsed pairs dropped, parallels merged), member
+    weights summed per coarse vertex.  Matching is intra-part, so every
+    coarse vertex with a member constituent is *entirely* made of members —
+    the coarse view keeps the exact-incident-set invariant of the fine one."""
+    i = view.part
+    assign = np.asarray(assign)
+    a, b = split_edge_keys(view.e_keys, view.n)
+    ca, cb = cmap[a], cmap[b]
+    keep = ca != cb
+    lo = np.minimum(ca[keep], cb[keep])
+    hi = np.maximum(ca[keep], cb[keep])
+    keys = lo * np.int64(nc) + hi
+    uniq, inv = np.unique(keys, return_inverse=True)
+    wts = np.bincount(inv, weights=view.e_wts[keep], minlength=uniq.size)
+    mine = np.flatnonzero(assign == i)
+    cw = np.bincount(cmap[mine], weights=view.vwts[mine], minlength=nc)
+    ids = np.unique(cmap[mine])
+    return PartView(nc, i, ids, cw[ids], uniq, wts)
+
+
+def _handoff_reports(view: PartView, old_assign, new_assign):
+    """Per-destination fine payloads for the roots this part lost in the
+    coarser stage: each lost root's weight and full incident edge set, read
+    off the loser's view (authoritative for its members).  Keyed by
+    destination part."""
+    i = view.part
+    old_assign = np.asarray(old_assign)
+    new_assign = np.asarray(new_assign)
+    lost = np.flatnonzero((old_assign == i) & (new_assign != i))
+    out = {}
+    if lost.size == 0:
+        return out
+    a, b = split_edge_keys(view.e_keys, view.n)
+    for dst in np.unique(new_assign[lost]):
+        vs = lost[new_assign[lost] == dst]
+        pick = np.isin(a, vs) | np.isin(b, vs)
+        out[int(dst)] = {
+            "v_ids": vs,
+            "v_wts": view.vwts[vs],
+            "e_keys": view.e_keys[pick],
+            "e_wts": view.e_wts[pick],
+        }
+    return out
+
+
+def _ml_refine(
+    n, p, views, assign, loads, live, cfg, wmax, my_parts, exchange,
+    gather_pairs, reduce_max, handoff,
+):
+    """The multilevel wrapper around :func:`_refine_loop`: coarsen up to
+    ``cfg.ml_levels`` times by intra-part matching, run the tournament at
+    the coarsest level (where each accepted move relocates a whole cluster
+    and the balance envelope widens to the coarse vertex granularity), then
+    project down level by level — losers hand the fine payloads of departed
+    roots to the winners — re-refining at each finer level.  ``home`` at
+    every level is the entry assignment coarsened to that level: migration
+    cost is always charged against where the weight actually lives.
+
+    The injected ``gather_pairs``/``reduce_max``/``handoff`` callables are
+    the level-change collectives (a rank loop in the serial driver, real
+    messages in the SPMD one); ``exchange`` is the usual proposal exchange,
+    shared by every level's round loop.
+    """
+    stack = []
+    cur_views, cur_assign, cur_n, cur_wmax = views, assign, n, wmax
+    for lvl in range(max(int(cfg.ml_levels), 0)):
+        with PERF.span("dkl.coarsen"):
+            pairs = {
+                part: _match_part(cur_views[part], cur_assign, cfg.seed + lvl)
+                for part in my_parts
+            }
+        all_pairs = gather_pairs(pairs, lvl)
+        if sum(a.size for a, _ in all_pairs) == 0:
+            break  # nothing matched anywhere: deeper levels are identical
+        with PERF.span("dkl.coarsen"):
+            cmap, nc = _combine_matchings(cur_n, all_pairs)
+            nxt_views = {
+                part: _contract_view(cur_views[part], cmap, nc, cur_assign)
+                for part in my_parts
+            }
+            nxt_assign = np.zeros(nc, dtype=np.int64)
+            nxt_assign[cmap] = np.asarray(cur_assign, dtype=np.int64)
+            local_wmax = max(
+                (float(v.vwts.max()) for v in nxt_views.values()), default=0.0
+            )
+        nxt_wmax = reduce_max(local_wmax, lvl)
+        stack.append((cur_views, cur_assign, cur_n, cur_wmax, cmap))
+        cur_views, cur_assign, cur_n, cur_wmax = (
+            nxt_views, nxt_assign, nc, nxt_wmax,
+        )
+
+    # coarsest-level tournament (home == the coarsened entry assignment)
+    _refine_loop(
+        cur_n, p, cur_views, cur_assign, cur_assign.copy(), loads, live,
+        cfg, cur_wmax, exchange, my_parts,
+    )
+
+    # project down: hand fine payloads across the new boundaries, then
+    # re-refine at the finer granularity
+    for fviews, fassign, fn_, fwmax, cmap in reversed(stack):
+        with PERF.span("dkl.project"):
+            projected = cur_assign[cmap]
+        fhome = np.asarray(fassign, dtype=np.int64).copy()
+        handoff(fviews, fhome, projected)
+        fassign[:] = projected
+        _refine_loop(
+            fn_, p, fviews, fassign, fhome, loads, live, cfg, fwmax,
+            exchange, my_parts,
+        )
+        cur_assign = fassign
+    return assign
+
+
+# ---------------------------------------------------------------------- #
 # drivers
 # ---------------------------------------------------------------------- #
 
@@ -690,8 +1061,7 @@ def dkl_refine_serial(
     wmax = float(graph.vwts.max()) if n else 0.0
     trace = [] if return_trace else None
 
-    def exchange(local):
-        return [local[part] for part in live]
+    exchange = _serial_exchange(live)
 
     _refine_loop(
         n, p, views, assign, home, loads, live, cfg, wmax, exchange,
@@ -717,12 +1087,89 @@ def dkl_refine_comm(comm, view: PartView, owner, loads, wmax, live, cfg, group=N
     loads = np.asarray(loads, dtype=np.float64).copy()
     views = {comm.rank: view}
 
-    def exchange(local):
-        return list(
-            comm.allgather(local[comm.rank], tag=PROPOSAL_TAG, ranks=group)
-        )
-
     return _refine_loop(
         view.n, loads.size, views, assign, home, loads, live, cfg, wmax,
-        exchange, my_parts=[comm.rank],
+        _comm_exchange(comm, group), my_parts=[comm.rank],
+    )
+
+
+def dkl_ml_refine_serial(graph, p, current, cfg: DKLConfig = None, live=None):
+    """Single-thread reference of the multilevel refiner (``dkl-ml``):
+    the level-change collectives are rank loops, the round loop is the
+    same :func:`_refine_loop` the flat engine runs.  Bit-identical to
+    :func:`dkl_ml_refine_comm` by construction (and by test)."""
+    cfg = cfg if cfg is not None else DKLConfig()
+    assign = np.asarray(current, dtype=np.int64).copy()
+    n = graph.n_vertices
+    live = sorted(int(r) for r in (live if live is not None else range(p)))
+    views = {part: PartView.from_graph(graph, part, assign) for part in live}
+    loads = np.bincount(
+        assign, weights=graph.vwts, minlength=p
+    ).astype(np.float64)
+    wmax = float(graph.vwts.max()) if n else 0.0
+
+    def gather_pairs(local, lvl):
+        return [local[part] for part in live]
+
+    def reduce_max(x, lvl):
+        return x  # the serial local max is already global (all parts here)
+
+    def handoff(vws, old, new):
+        for part in live:
+            reports = _handoff_reports(vws[part], old, new)
+            for dst in sorted(reports):
+                rep = reports[dst]
+                vws[dst].absorb(
+                    rep["v_ids"], rep["v_wts"], rep["e_keys"], rep["e_wts"]
+                )
+
+    return _ml_refine(
+        n, p, views, assign, loads, live, cfg, wmax, live,
+        _serial_exchange(live), gather_pairs, reduce_max, handoff,
+    )
+
+
+def dkl_ml_refine_comm(
+    comm, view: PartView, owner, loads, wmax, live, cfg, group=None
+):
+    """SPMD multilevel refinement: each rank matches its own part's
+    internal subgraph, the matchings travel by allgather (tag
+    :data:`MATCHING_TAG`) so every rank derives the identical coarse map,
+    the coarse tournament runs through the usual proposal exchange, and at
+    each projection the losers ship the fine payloads of departed roots
+    point-to-point (tag :data:`HANDOFF_TAG`) before the fine-level rounds.
+    Deterministic end to end: every collective input is replicated, so the
+    returned assignment is replica-identical like the flat refiner's."""
+    assign = np.asarray(owner, dtype=np.int64).copy()
+    loads = np.asarray(loads, dtype=np.float64).copy()
+    views = {comm.rank: view}
+
+    def gather_pairs(local, lvl):
+        a, b = local[comm.rank]
+        packed = np.concatenate([a, b])  # (a ++ b): split at the midpoint
+        out = comm.allgather(packed, tag=MATCHING_TAG, ranks=group)
+        return [(arr[: arr.size // 2], arr[arr.size // 2 :]) for arr in out]
+
+    def reduce_max(x, lvl):
+        return comm.allreduce(x, op=max, tag=REDUCE_TAG, ranks=group)
+
+    def handoff(vws, old, new):
+        mine = vws[comm.rank]
+        reports = _handoff_reports(mine, old, new)
+        for dst in sorted(reports):
+            comm.send(reports[dst], dst, HANDOFF_TAG)
+        old = np.asarray(old)
+        gained = np.unique(
+            old[(np.asarray(new) == comm.rank) & (old != comm.rank)]
+        )
+        for src in sorted(int(s) for s in gained):
+            rep = comm.recv(src, HANDOFF_TAG)
+            mine.absorb(
+                rep["v_ids"], rep["v_wts"], rep["e_keys"], rep["e_wts"]
+            )
+
+    return _ml_refine(
+        view.n, loads.size, views, assign, loads, live, cfg, wmax,
+        [comm.rank], _comm_exchange(comm, group), gather_pairs, reduce_max,
+        handoff,
     )

@@ -37,13 +37,23 @@ Strategies
     registry entry runs the serial reference engine; inside the PARED
     system the same code runs SPMD with neighbor-to-neighbor halo
     exchange and no coordinator in the refinement loop.
+``dkl-ml``
+    Multilevel flavour of ``dkl``: each part coarsens its own subgraph by
+    intra-part heavy-edge matching, the same tournament runs on the coarse
+    view (moving whole clusters per accepted move), and the result is
+    projected and re-refined at the fine level — the standard multilevel
+    fix for the residual cut gap on heavy-imbalance starts.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.partition.distributed import DKLConfig, dkl_refine_serial
+from repro.partition.distributed import (
+    DKLConfig,
+    dkl_ml_refine_serial,
+    dkl_refine_serial,
+)
 from repro.partition.multilevel import multilevel_partition
 from repro.partition.permute import (
     apply_permutation,
@@ -59,6 +69,7 @@ __all__ = [
     "MLKLRepartitioner",
     "SFCRepartitioner",
     "DKLRepartitioner",
+    "DKLMLRepartitioner",
 ]
 
 
@@ -178,12 +189,38 @@ class DKLRepartitioner:
         return dkl_refine_serial(graph, p, current, self.cfg)
 
 
+class DKLMLRepartitioner:
+    """Multilevel distributed refinement, serial reference engine.
+
+    Same bootstrap as ``dkl`` (the golden metrics pin the pnr-identical
+    initial partition); ``repartition`` coarsens each part by intra-part
+    heavy-edge matching, refines at the coarse level, projects, and
+    re-refines — bit-identical to the SPMD path the PARED system runs.
+    """
+
+    name = "dkl-ml"
+
+    def __init__(self, alpha=0.1, beta=0.8, seed=0, balance_tol=0.02,
+                 ml_levels=1):
+        self.cfg = DKLConfig(
+            alpha=alpha, beta=beta, seed=seed, balance_tol=balance_tol,
+            ml_levels=ml_levels,
+        )
+
+    def initial(self, graph, p, coords=None):
+        return multilevel_partition(graph, p, seed=self.cfg.seed)
+
+    def repartition(self, graph, p, current, coords=None):
+        return dkl_ml_refine_serial(graph, p, current, self.cfg)
+
+
 #: name -> strategy class; the CLI's ``--partitioner`` choices come from here
 PARTITIONERS = {
     "pnr": PNRRepartitioner,
     "mlkl": MLKLRepartitioner,
     "sfc": SFCRepartitioner,
     "dkl": DKLRepartitioner,
+    "dkl-ml": DKLMLRepartitioner,
 }
 
 
@@ -217,6 +254,10 @@ def make_repartitioner(name: str, pnr=None, curve: str = "morton",
         return MLKLRepartitioner(seed=seed, balance_tol=max(balance_tol, 0.03))
     if name == "dkl":
         return DKLRepartitioner(
+            alpha=alpha, beta=beta, seed=seed, balance_tol=balance_tol
+        )
+    if name == "dkl-ml":
+        return DKLMLRepartitioner(
             alpha=alpha, beta=beta, seed=seed, balance_tol=balance_tol
         )
     return SFCRepartitioner(curve=curve, bits=bits)

@@ -176,14 +176,19 @@ class _Shared:
 
 
 class Request:
-    """Handle of a nonblocking operation (mpi4py's ``isend``/``irecv``)."""
+    """Handle of a nonblocking operation (mpi4py's ``isend``/``irecv``).
 
-    __slots__ = ("_fn", "_done", "_value")
+    ``sent_bytes`` is the total frame bytes the operation already put on
+    the wire when it was posted (nonzero for ``isend``/``iallgather``) —
+    the hook per-round traffic accounting reads without re-encoding."""
 
-    def __init__(self, fn):
+    __slots__ = ("_fn", "_done", "_value", "sent_bytes")
+
+    def __init__(self, fn, sent_bytes: int = 0):
         self._fn = fn
         self._done = False
         self._value = None
+        self.sent_bytes = sent_bytes
 
     def wait(self, timeout: float = _DEFAULT_TIMEOUT):
         """Complete the operation; returns the received object for
@@ -299,8 +304,10 @@ class SimComm:
     # point to point
     # ------------------------------------------------------------------ #
 
-    def send(self, obj, dest: int, tag: int = 0) -> None:
-        """Send a picklable object to ``dest`` (non-blocking, buffered)."""
+    def send(self, obj, dest: int, tag: int = 0) -> int:
+        """Send a picklable object to ``dest`` (non-blocking, buffered).
+        Returns the frame length in bytes (0 for a dropped send to a dead
+        rank) — the same number the traffic ledger recorded."""
         if self._transport.aborted():
             raise SimMPIAborted("run aborted")
         if not (0 <= dest < self.size):
@@ -308,13 +315,13 @@ class SimComm:
         if self._recover and dest in self._shared.dead:
             # a send to a departed rank is a no-op, like writing to a
             # connection the transport already tore down
-            return
+            return 0
         if self._faults is not None:
-            self._send_faulty(obj, dest, tag)
-            return
+            return self._send_faulty(obj, dest, tag)
         payload = self._encode_timed(obj)
         self._shared.stats.record(self.rank, dest, len(payload), self.phase)
         self._transport.push(dest, tag, payload)
+        return len(payload)
 
     def _encode_timed(self, obj) -> bytes:
         tick = perf_counter()
@@ -377,7 +384,7 @@ class SimComm:
                 f"communication op {self._ops}"
             )
 
-    def _send_faulty(self, obj, dest: int, tag: int) -> None:
+    def _send_faulty(self, obj, dest: int, tag: int) -> int:
         """Envelope the message and apply the plan's wire perturbations.
 
         Traffic statistics record the *logical* message exactly once —
@@ -412,6 +419,7 @@ class SimComm:
         if plan.duplicate_rate and u_dup < plan.duplicate_rate:
             q.put(envelope)
             log.record("duplicate", self.rank, dest, seq)
+        return len(payload)
 
     def _recv_faulty(self, source: int, tag: int, timeout):
         """Resequencing receive: dedupes, restores per-channel order, and
@@ -555,23 +563,91 @@ class SimComm:
         return self.recv(root, tag)
 
     def allgather(self, obj, tag: int = -4, ranks=None):
-        if ranks is None:
-            data = self.gather(obj, root=0, tag=tag)
-            return self.bcast(data, root=0, tag=tag - 100)
-        root = ranks[0]
-        data = self.gather(obj, root=root, tag=tag, ranks=ranks)
-        return self.bcast(data, root=root, tag=tag - 100, ranks=ranks)
+        """Allgather by direct pairwise exchange — no root rank in the
+        pattern, unlike the historical gather+bcast funnel.
 
-    def allreduce(self, obj, op=None, tag: int = -5):
-        """Reduce with ``op`` (binary callable, default ``+``) then broadcast."""
-        data = self.gather(obj, root=0, tag=tag)
-        if self.rank == 0:
-            acc = data[0]
-            for item in data[1:]:
-                acc = (acc + item) if op is None else op(acc, item)
+        Power-of-two group sizes use *recursive doubling*: ``log2(k)``
+        rounds, each rank swapping everything it holds with its partner
+        across one address bit.  Other sizes use a *ring*: ``k - 1`` steps
+        forwarding one block to the clockwise neighbor.  Both deliver the
+        result list aligned with the group order (``ranks`` order, or rank
+        order for the full communicator), identical to the old path.
+        Blocks travel as ``(position, block)`` pairs, so ``None`` is a
+        legal payload.  Sends buffer without blocking, so the symmetric
+        send-then-receive step cannot deadlock on either transport.
+        """
+        group = list(range(self.size)) if ranks is None else list(ranks)
+        k = len(group)
+        if k == 1:
+            return [obj]
+        me = group.index(self.rank)
+        blocks = [None] * k
+        blocks[me] = obj
+        if k & (k - 1) == 0:
+            dim = 1
+            while dim < k:
+                # this rank holds exactly the blocks of its low-bit subcube
+                partner = group[me ^ dim]
+                self.send(
+                    [(pos, blocks[pos]) for pos in (me ^ m for m in range(dim))],
+                    partner,
+                    tag,
+                )
+                for pos, blk in self.recv(partner, tag):
+                    blocks[pos] = blk
+                dim <<= 1
         else:
-            acc = None
-        return self.bcast(acc, root=0, tag=tag - 100)
+            right = group[(me + 1) % k]
+            left = group[(me - 1) % k]
+            self.send((me, obj), right, tag)
+            for step in range(k - 1):
+                pos, blk = self.recv(left, tag)
+                blocks[pos] = blk
+                if step < k - 2:
+                    self.send((pos, blk), right, tag)
+        return blocks
+
+    def iallgather(self, obj, tag: int = -4, ranks=None) -> "Request":
+        """Nonblocking allgather.  This rank's block goes out to every
+        other group member immediately (simulated sends buffer without
+        blocking), and the returned :class:`Request` performs the ``k - 1``
+        receives on ``wait()`` — so local work scheduled between post and
+        wait genuinely overlaps the peers' sends on the process backend.
+        ``wait(timeout=...)`` budgets the timeout across the receives and
+        raises :class:`SimMPITimeout` like a blocking ``recv`` would;
+        ``req.sent_bytes`` is the total frame bytes posted."""
+        group = list(range(self.size)) if ranks is None else list(ranks)
+        k = len(group)
+        me = group.index(self.rank)
+        nbytes = 0
+        for step in range(1, k):
+            nbytes += self.send((me, obj), group[(me + step) % k], tag)
+
+        def complete(timeout):
+            remaining = timeout if timeout is not None else _DEFAULT_TIMEOUT
+            blocks = [None] * k
+            blocks[me] = obj
+            for step in range(1, k):
+                src = group[(me - step) % k]
+                tick = perf_counter()
+                pos, blk = self.recv(src, tag, timeout=max(remaining, 0.001))
+                remaining -= perf_counter() - tick
+                blocks[pos] = blk
+            return blocks
+
+        return Request(complete, sent_bytes=nbytes)
+
+    def allreduce(self, obj, op=None, tag: int = -5, ranks=None):
+        """Reduce with ``op`` (binary callable, default ``+``), result on
+        every rank: a pairwise allgather of the operands, then each rank
+        folds them locally in group order.  The fold order is identical
+        everywhere (and identical to the old root-funneled reduce), so
+        floating-point results stay bitwise replica-identical."""
+        data = self.allgather(obj, tag=tag, ranks=ranks)
+        acc = data[0]
+        for item in data[1:]:
+            acc = (acc + item) if op is None else op(acc, item)
+        return acc
 
     def reduce(self, obj, op=None, root: int = 0, tag: int = -6):
         """Reduce to ``root`` with ``op`` (binary callable, default ``+``);

@@ -21,6 +21,11 @@ class TrafficStats:
         self.messages = defaultdict(int)  # phase -> count
         self.bytes = defaultdict(int)  # phase -> payload bytes
         self.by_pair = defaultdict(int)  # (src, dst) -> count
+        # label -> {round index -> bytes}: per-round wire accounting for
+        # iterative exchanges (the dkl proposal rounds record here); an
+        # accumulating dict keyed by round index, not an append-log, so
+        # concurrent ranks recording the same round stay order-independent
+        self.round_bytes = defaultdict(lambda: defaultdict(int))
         #: set by spmd_run when a FaultPlan is active (a
         #: :class:`~repro.runtime.faults.FaultLog`), else None
         self.fault_log = None
@@ -37,6 +42,25 @@ class TrafficStats:
             self.messages[phase] += 1
             self.bytes[phase] += nbytes
             self.by_pair[(src, dst)] += 1
+
+    def record_round(self, label: str, rnd: int, nbytes: int) -> None:
+        """Accumulate ``nbytes`` against round ``rnd`` of an iterative
+        exchange ``label`` — every rank adds its own sent bytes, so the
+        total per round is the whole group's wire cost for that round."""
+        with self._lock:
+            self.round_bytes[label][int(rnd)] += int(nbytes)
+
+    def round_profile(self, label: str) -> list:
+        """Bytes per round for ``label``, as a dense list indexed by round
+        (missing rounds are 0)."""
+        with self._lock:
+            rounds = self.round_bytes.get(label)
+            if not rounds:
+                return []
+            out = [0] * (max(rounds) + 1)
+            for rnd, n in rounds.items():
+                out[rnd] = n
+            return out
 
     @property
     def total_messages(self) -> int:
@@ -57,6 +81,10 @@ class TrafficStats:
                 "by_pair": [
                     [src, dst, n] for (src, dst), n in self.by_pair.items()
                 ],
+                "round_bytes": {
+                    label: [[rnd, n] for rnd, n in rounds.items()]
+                    for label, rounds in self.round_bytes.items()
+                },
             }
 
     def merge_dict(self, snap: dict) -> None:
@@ -70,6 +98,9 @@ class TrafficStats:
                 self.bytes[phase] += n
             for src, dst, n in snap["by_pair"]:
                 self.by_pair[(src, dst)] += n
+            for label, rounds in snap.get("round_bytes", {}).items():
+                for rnd, n in rounds:
+                    self.round_bytes[label][rnd] += n
 
     def phase_report(self) -> dict:
         """``{phase: (messages, bytes)}`` snapshot."""
@@ -96,6 +127,7 @@ class TrafficStats:
             self.messages.clear()
             self.bytes.clear()
             self.by_pair.clear()
+            self.round_bytes.clear()
 
 
 class PhaseTimer:

@@ -15,6 +15,14 @@ object with four operations:
 ``aborted()``
     True once the run is cancelled (a peer failed).
 
+The seam is deliberately small: even the pairwise collectives
+(recursive-doubling/ring ``allgather``, the nonblocking ``iallgather``)
+are built entirely from these four operations.  ``push`` being
+non-blocking and buffered is what makes ``iallgather`` legal — a rank
+posts all its first-step frames immediately and returns a ``Request``;
+the deferred ``wait()`` only ever *pulls*, so no new wire primitive
+(and no per-backend code) was needed for overlap.
+
 Two backends implement the seam:
 
 * :class:`ThreadTransport` — the original in-process wire: one

@@ -223,13 +223,15 @@ class TestRegistry:
     P = 4
 
     def test_names(self):
-        assert available_partitioners() == ("pnr", "mlkl", "sfc", "dkl")
+        assert available_partitioners() == (
+            "pnr", "mlkl", "sfc", "dkl", "dkl-ml",
+        )
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="unknown partitioner"):
             make_repartitioner("metis")
 
-    @pytest.mark.parametrize("name", ("pnr", "mlkl", "sfc", "dkl"))
+    @pytest.mark.parametrize("name", ("pnr", "mlkl", "sfc", "dkl", "dkl-ml"))
     def test_initial_conformance(self, name):
         g, coords = grid_with_coords(8)
         a = make_repartitioner(name).initial(g, self.P, coords=coords)
@@ -237,7 +239,7 @@ class TestRegistry:
         assert set(np.unique(a)) == set(range(self.P))
         assert graph_imbalance(g, a, self.P) < 0.35
 
-    @pytest.mark.parametrize("name", ("pnr", "mlkl", "sfc", "dkl"))
+    @pytest.mark.parametrize("name", ("pnr", "mlkl", "sfc", "dkl", "dkl-ml"))
     def test_repartition_conformance(self, name):
         # weights skewed toward one corner, as after local refinement
         vw = np.ones(64)
@@ -250,7 +252,7 @@ class TestRegistry:
         assert set(np.unique(a1)) == set(range(self.P))
         assert graph_imbalance(g, a1, self.P) < 0.35
 
-    @pytest.mark.parametrize("name", ("pnr", "mlkl", "sfc", "dkl"))
+    @pytest.mark.parametrize("name", ("pnr", "mlkl", "sfc", "dkl", "dkl-ml"))
     def test_deterministic(self, name):
         g, coords = grid_with_coords(8)
         runs = []

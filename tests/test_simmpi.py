@@ -19,6 +19,7 @@ from repro.runtime.simmpi import (
     SimRankDied,
     spmd_run,
 )
+from repro.runtime.faults import FaultPlan
 from repro.runtime.stats import PhaseTimer, TrafficStats
 from repro.runtime.transport import resolve_backend
 
@@ -261,6 +262,162 @@ class TestCollectives:
         assert run(backend, 1, prog) == ["ok"]
 
 
+class TestPairwiseCollectives:
+    """The pairwise `allgather`/`allreduce` (recursive doubling at
+    power-of-two group sizes, ring otherwise) and the nonblocking
+    `iallgather` must be drop-in for the old root-funneled gather+bcast
+    composition: identical results, same ``ranks=`` semantics, same
+    exactly-once ledger rule, and `Request.wait` timeouts typed like any
+    other receive timeout."""
+
+    @pytest.mark.parametrize("size", (2, 3, 4, 5))
+    def test_allgather_parity_with_root_funneled(self, backend, size):
+        """Pairwise result == gather-to-root + bcast of the same payloads
+        (the implementation this path replaced), at both a power-of-two
+        size (recursive doubling) and general sizes (ring)."""
+
+        def prog(comm):
+            obj = (comm.rank, "x" * comm.rank)
+            pairwise = comm.allgather(obj, tag=60)
+            funneled = comm.bcast(
+                comm.gather(obj, root=0, tag=61), root=0, tag=62
+            )
+            return pairwise == funneled
+
+        assert all(run(backend, size, prog))
+
+    def test_allgather_eight_ranks_recursive_doubling(self):
+        """Three doubling rounds (thread backend: cheap at p=8)."""
+
+        def prog(comm):
+            return comm.allgather(comm.rank**2)
+
+        assert run("thread", 8, prog) == [[r**2 for r in range(8)]] * 8
+
+    def test_allgather_none_payload(self, backend):
+        """``None`` is a legal contribution (dkl ranks with no proposal
+        send exactly that) — it must come back as a block, not be
+        mistaken for a hole in the exchange."""
+
+        def prog(comm):
+            obj = None if comm.rank % 2 == 0 else comm.rank
+            return comm.allgather(obj)
+
+        assert run(backend, 4, prog) == [[None, 1, None, 3]] * 4
+
+    def test_allreduce_bitwise_parity_with_gather_fold(self, backend):
+        """The pairwise allreduce folds the gathered blocks in group
+        order on every rank — bit-identical floats to the old
+        root-funneled fold (which used the same order)."""
+
+        def prog(comm):
+            x = 0.1 * (comm.rank + 1) ** 3
+            folded = comm.allreduce(x, tag=63)
+            blocks = comm.allgather(x, tag=64)
+            acc = blocks[0]
+            for item in blocks[1:]:
+                acc = acc + item
+            return folded == acc  # bitwise: same fold order
+
+        assert all(run(backend, 5, prog))
+
+    def test_allreduce_rank_subset(self, backend):
+        def prog(comm):
+            group = [1, 2, 3]
+            if comm.rank in group:
+                return comm.allreduce(comm.rank, op=max, ranks=group)
+            return "outside"
+
+        assert run(backend, 4, prog) == ["outside", 3, 3, 3]
+
+    def test_iallgather_matches_allgather(self, backend):
+        """Post, do local work while frames are in flight, then wait —
+        same result as the blocking collective."""
+
+        def prog(comm):
+            req = comm.iallgather(comm.rank * 11, tag=65)
+            local = sum(range(1000))  # overlap window
+            got = req.wait()
+            return got == [0, 11, 22] and local == 499500
+
+        assert all(run(backend, 3, prog))
+
+    def test_iallgather_rank_subset(self, backend):
+        def prog(comm):
+            group = [0, 3]
+            if comm.rank in group:
+                return comm.iallgather(comm.rank, ranks=group).wait()
+            return "outside"
+
+        res = run(backend, 4, prog)
+        assert res[0] == res[3] == [0, 3]
+        assert res[1] == res[2] == "outside"
+
+    def test_iallgather_sent_bytes(self, backend):
+        """``Request.sent_bytes`` is the posted wire cost: zero for a
+        single-rank group (nothing travels), positive otherwise, and
+        equal on ranks sending identical payloads."""
+
+        def prog(comm):
+            req = comm.iallgather(np.arange(64), tag=66)
+            req.wait()
+            solo = comm.iallgather("alone", ranks=[comm.rank])
+            assert solo.wait() == ["alone"]
+            assert solo.sent_bytes == 0
+            return req.sent_bytes
+
+        sent = run(backend, 3, prog)
+        assert sent[0] > 0 and len(set(sent)) == 1
+
+    def test_iallgather_wait_timeout_typing(self, backend):
+        """A starved ``wait(timeout=...)`` raises the same
+        :class:`SimMPITimeout` (a :class:`TimeoutError`) as a plain
+        receive — overlap never changes the failure surface."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.iallgather(0, tag=67)
+                try:
+                    req.wait(timeout=0.2)
+                except Exception as exc:  # noqa: BLE001 - capturing
+                    return type(exc).__name__, isinstance(exc, TimeoutError)
+                return "no exception"
+            # rank 1 posts too late for rank 0's patience
+            time.sleep(0.6)
+            comm.iallgather(1, tag=67).wait()
+            return None
+
+        name, is_timeout = run(backend, 2, prog)[0]
+        assert name == "SimMPITimeout"
+        assert is_timeout
+
+    def test_ledger_exactly_once_under_faults(self):
+        """Reordering and duplicate delivery must not change the sender-
+        side ledger: one record of the frame length per logical message,
+        whatever the wire does (thread backend — fault injection lives
+        there)."""
+
+        def prog(comm):
+            comm.set_phase("A")
+            comm.allgather(np.arange(30) + comm.rank, tag=68)
+            comm.set_phase("B")
+            comm.allreduce(float(comm.rank), tag=69)
+            req = comm.iallgather(comm.rank, tag=70)
+            return req.wait()
+
+        plan = FaultPlan(
+            seed=5, reorder_rate=0.4, duplicate_rate=0.4,
+            recv_timeout=2.0, max_retries=3,
+        )
+        res_c, clean = run("thread", 4, prog, return_stats=True)
+        res_f, faulty = run(
+            "thread", 4, prog, return_stats=True, faults=plan
+        )
+        assert res_c == res_f == [list(range(4))] * 4
+        assert clean.phase_report() == faulty.phase_report()
+        assert dict(clean.by_pair) == dict(faulty.by_pair)
+
+
 class TestTimeouts:
     """``recv(timeout=...)`` semantics must be uniform across backends:
     same exception type (:class:`SimMPITimeout`, a :class:`TimeoutError`),
@@ -333,7 +490,7 @@ class TestErrorsAndStats:
         _, stats = run(backend, 2, prog, return_stats=True)
         rep = stats.phase_report()
         assert rep["B"][0] == 1
-        assert rep["A"][0] == 2  # gather to 0 + bcast back
+        assert rep["A"][0] == 2  # pairwise allgather at p=2: one send per rank
         assert stats.total_bytes > 0
         assert stats.total_messages == 3
         # the backend that actually ran, not the one configured
