@@ -46,7 +46,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 import time
 
@@ -56,6 +55,7 @@ from repro.core import PNR
 from repro.fem import CornerLaplace2D, interpolation_error_indicator, mark_top_fraction
 from repro.mesh import AdaptiveMesh
 from repro.pared import ParedConfig, run_pared
+from repro.runtime.envflags import effective_cpu_count
 
 #: 48x48 unit square -> 2*48*48 = 4608 coarse triangles (CI gate);
 #: 260x260 -> 135,200 coarse triangles (the paper's Section 6 scale)
@@ -210,7 +210,7 @@ def test_dkl_round_reduced(benchmark, write_result):
     ]
     benchmark.extra_info["proposal_bytes_per_round"] = proposal_bytes
     benchmark.extra_info["crossover"] = rows
-    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.extra_info["cpu_count"] = effective_cpu_count()
     write_result(
         "distributed_refine",
         crossover_table([r for r in rows if r["seconds"] is not None]),
@@ -287,11 +287,11 @@ def test_dkl_beats_pnr_wall_time_multicore(write_result):
     >= 4 real cores and one OS process per rank, removing the
     coordinator-serial span must show up as lower end-to-end wall time
     for dkl than pnr."""
-    ncpu = os.cpu_count() or 1
+    ncpu = effective_cpu_count()
     if ncpu < 4:
         print(
             f"::notice title=dkl wall-time leg skipped::runner reports "
-            f"{ncpu} core(s) (<4); the dkl-vs-pnr wall-time comparison "
+            f"{ncpu} usable core(s) (<4); the dkl-vs-pnr wall-time comparison "
             f"needs truly parallel ranks and was not gated on this run"
         )
         import pytest

@@ -32,17 +32,27 @@ _P = 4
 _ROUNDS = 3
 
 
+_PROB = CornerLaplace2D()
+
+
+# module-level (picklable) fixture pieces: the shm backend ships the job
+# to its persistent rank pool as a pickle frame, and closures/lambdas
+# would silently demote it to a one-shot fork — which is exactly the
+# setup cost this bench wants amortised away
+def _bench_marker(amesh, rnd):
+    ind = interpolation_error_indicator(amesh, _PROB.exact)
+    return mark_top_fraction(amesh, ind, 0.15), []
+
+
+def _bench_make_mesh():
+    return AdaptiveMesh.unit_square(_N)
+
+
 def _run_round_fixture(transport=None):
-    prob = CornerLaplace2D()
-
-    def marker(amesh, rnd):
-        ind = interpolation_error_indicator(amesh, prob.exact)
-        return mark_top_fraction(amesh, ind, 0.15), []
-
     cfg = ParedConfig(
         p=_P if not paper_scale() else 8,
-        make_mesh=lambda: AdaptiveMesh.unit_square(_N),
-        marker=marker,
+        make_mesh=_bench_make_mesh,
+        marker=_bench_marker,
         rounds=_ROUNDS,
         pnr=PNR(seed=4),
         imbalance_trigger=0.05,
@@ -90,7 +100,7 @@ def test_pared_round_8192_process(benchmark):
     records the host's CPU count so single-core measurements (where
     process overhead cannot be amortised) read as what they are.
     """
-    import os
+    from repro.runtime.envflags import effective_cpu_count
 
     histories, stats = benchmark.pedantic(
         lambda: _run_round_fixture(transport="process"),
@@ -117,5 +127,115 @@ def test_pared_round_8192_process(benchmark):
     benchmark.extra_info["traffic"] = {
         ph: list(v) for ph, v in stats.phase_report().items()
     }
-    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.extra_info["cpu_count"] = effective_cpu_count()
     assert any(name.startswith("pared.") for name in perf)
+
+
+def _noop_rank(comm):
+    return comm.rank
+
+
+def test_pared_round_8192_shm(benchmark):
+    """Same fixture on the shm backend: pooled rank processes exchanging
+    codec frames through shared-memory rings, sockets only for spill and
+    control.  The committed `benchmarks/BENCH_pared_shm.json` is the
+    baseline CI gates against (median, 25% tolerance) on runners with
+    >= 4 usable cores; elsewhere the timing is recorded ungated.
+
+    `extra_info` additionally records the pool economics: wall seconds of
+    a no-op run that had to fork+wire a fresh pool (cold) vs the same
+    no-op on the already-warm pool, plus the shm-vs-process wall-time
+    ratio of the benched fixture.  On a >= 4-core host the warm dispatch
+    must be >= 5x cheaper than the cold fork and shm must beat the
+    process backend by >= 1.25x; single-core runners record the numbers
+    as what they are.
+    """
+    from time import perf_counter
+
+    from repro.runtime.envflags import effective_cpu_count
+    from repro.runtime.shm import pool_stats, shutdown_pools
+
+    ncpu = effective_cpu_count()
+    p = _P if not paper_scale() else 8
+
+    # pool economics: cold fork+wire vs warm dispatch of a no-op job
+    shutdown_pools()
+    t0 = perf_counter()
+    _run_round_fixture(transport="shm")  # cold: builds the pool, warms caches
+    cold_run = perf_counter() - t0
+    assert pool_stats().get(p, (0,))[0] >= 1, (
+        "the bench fixture must engage the persistent pool "
+        "(a closure in the job would demote it to a one-shot fork)"
+    )
+    cold_setup = pool_stats()[p][1]
+    t0 = perf_counter()
+    _run_round_fixture(transport="shm")
+    warm_run = perf_counter() - t0
+    t0 = perf_counter()
+    from repro.runtime.simmpi import spmd_run
+
+    spmd_run(p, _noop_rank, transport="shm")
+    warm_dispatch = perf_counter() - t0
+
+    histories, stats = benchmark.pedantic(
+        lambda: _run_round_fixture(transport="shm"),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+    # identical correctness guard as the thread/process legs
+    hist = histories[0]
+    assert hist[0]["leaves"] >= 2 * _N * _N
+    for other in histories[1:]:
+        for a, b in zip(hist, other):
+            assert a["leaves"] == b["leaves"] and a["cut"] == b["cut"]
+            assert np.array_equal(a["owner"], b["owner"])
+    loads = [h[-1]["local_load"] for h in histories]
+    assert sum(loads) == hist[-1]["leaves"]
+
+    perf = stats.kernel_perf or {}
+    benchmark.extra_info["kernel_perf"] = {
+        name: [calls, round(secs, 4)] for name, (calls, secs) in perf.items()
+    }
+    benchmark.extra_info["traffic"] = {
+        ph: list(v) for ph, v in stats.phase_report().items()
+    }
+    benchmark.extra_info["wire"] = dict(stats.wire_report())
+    benchmark.extra_info["cpu_count"] = ncpu
+    benchmark.extra_info["pool_cold_setup_seconds"] = round(cold_setup, 4)
+    benchmark.extra_info["pool_warm_dispatch_seconds"] = round(
+        warm_dispatch, 4
+    )
+    benchmark.extra_info["cold_run_seconds"] = round(cold_run, 4)
+    benchmark.extra_info["warm_run_seconds"] = round(warm_run, 4)
+    assert any(name.startswith("pared.") for name in perf)
+    assert stats.wire_report().get("ring_frames", 0) > 0, (
+        "an shm run must move data frames through the rings"
+    )
+
+    # shm-vs-process wall time, one sample each (recorded always, gated
+    # only where ranks can actually run in parallel)
+    t0 = perf_counter()
+    _run_round_fixture(transport="process")
+    process_run = perf_counter() - t0
+    benchmark.extra_info["process_run_seconds"] = round(process_run, 4)
+    benchmark.extra_info["shm_vs_process_speedup"] = round(
+        process_run / warm_run, 3
+    )
+
+    if ncpu >= 4:
+        assert cold_setup >= 5 * warm_dispatch, (
+            f"warm pool dispatch ({warm_dispatch:.4f}s) must be >=5x "
+            f"cheaper than the cold fork ({cold_setup:.4f}s)"
+        )
+        assert process_run >= 1.25 * warm_run, (
+            f"shm ({warm_run:.3f}s) must beat the process backend "
+            f"({process_run:.3f}s) by >=1.25x on a multi-core host"
+        )
+    else:
+        print(
+            f"::notice title=shm perf gate skipped::runner reports {ncpu} "
+            f"usable core(s) (<4); shm-vs-process and pool-economics "
+            f"ratios recorded in extra_info but not gated on this run"
+        )

@@ -266,6 +266,10 @@ def _cmd_pared(args) -> int:
     ))
     for phase, (msgs, nbytes) in stats.phase_report().items():
         print(f"  {phase}: {msgs} messages, {nbytes} bytes")
+    wire = stats.wire_report()
+    if wire:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(wire.items()))
+        print(f"  wire: {parts}")
     if args.phase_report:
         from repro.experiments import format_phase_table
 
@@ -375,9 +379,10 @@ def build_parser() -> argparse.ArgumentParser:
     pa.add_argument("--rounds", type=int, default=4)
     pa.add_argument("--seed", type=int, default=2)
     pa.add_argument(
-        "--transport", choices=("thread", "process"), default=None,
-        help="rank backend: threads (default) or one OS process per rank "
-             "(real multi-core; also via REPRO_TRANSPORT)",
+        "--transport", choices=("thread", "process", "shm"), default=None,
+        help="rank backend: threads (default), one OS process per rank "
+             "over socketpairs, or shm (process ranks exchanging frames "
+             "through shared-memory rings; also via REPRO_TRANSPORT)",
     )
     from repro.partition.registry import available_partitioners
 

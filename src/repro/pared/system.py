@@ -136,9 +136,12 @@ class ParedConfig:
     transport:
         Wire backend for the ranks: ``"thread"`` (default), ``"process"``
         (one OS process per rank over sockets — real multi-core
-        wall-clock), or ``None`` to defer to the ``REPRO_TRANSPORT``
-        environment variable.  ``faults``/``recover`` require the thread
-        backend (see :func:`~repro.runtime.transport.resolve_backend`).
+        wall-clock), ``"shm"`` (process ranks exchanging data frames
+        through shared-memory rings with a persistent rank pool — the
+        low-copy fast path, see :mod:`repro.runtime.shm`), or ``None``
+        to defer to the ``REPRO_TRANSPORT`` environment variable.
+        ``faults``/``recover`` require the thread backend (see
+        :func:`~repro.runtime.transport.resolve_backend`).
     partitioner:
         Repartitioning strategy by registry name
         (:data:`repro.partition.PARTITIONERS`): ``"pnr"`` (default — the

@@ -14,7 +14,14 @@ from __future__ import annotations
 
 import os
 
-__all__ = ["env_bool", "env_choice", "FALSEY", "TRUTHY"]
+__all__ = [
+    "effective_cpu_count",
+    "env_bool",
+    "env_choice",
+    "env_int",
+    "FALSEY",
+    "TRUTHY",
+]
 
 #: values (lowercased, stripped) read as False; the empty string counts —
 #: ``REPRO_X= cmd`` is "unset" in intent
@@ -45,6 +52,43 @@ def env_bool(name: str, default: bool = False) -> bool:
         f"{name}={raw!r} is not a recognized boolean "
         f"(true: {sorted(TRUTHY)}, false: {sorted(v for v in FALSEY if v)})"
     )
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer environment flag (sizes, counts).
+
+    Unset/empty returns ``default``; a base-10 integer (optionally
+    underscore-grouped, e.g. ``4_194_304``) returns its value; anything
+    else raises ``ValueError`` naming the variable.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip()
+    if value == "":
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            f"{name}={raw!r} is not an integer"
+        ) from None
+
+
+def effective_cpu_count() -> int:
+    """CPUs actually usable by this process, not CPUs in the machine.
+
+    CI runners and containers routinely pin a process to a subset of a
+    many-core host (cgroups, ``taskset``); ``os.cpu_count()`` reports the
+    host and over-promises.  ``os.sched_getaffinity`` reports the
+    schedulable set, so multi-core perf gates keyed on it skip where they
+    would only measure oversubscription.  Falls back to ``os.cpu_count()``
+    on platforms without affinity masks; never returns less than 1.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 def env_choice(name: str, choices, default=None):

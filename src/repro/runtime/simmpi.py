@@ -56,7 +56,12 @@ import time
 from time import perf_counter
 
 from repro.perf import PERF
-from repro.runtime.codec import decode as _decode, encode as _encode
+from repro.runtime.codec import (
+    decode as _decode,
+    encode as _encode,
+    encode_parts as _encode_parts,
+    parts_nbytes as _parts_nbytes,
+)
 from repro.runtime.faults import (
     FaultLog,
     FaultPlan,
@@ -67,6 +72,7 @@ from repro.runtime.faults import (
 )
 from repro.runtime.recovery import MembershipChange, PeerCrashed
 from repro.runtime.stats import TrafficStats
+from repro.runtime.shm import RingFrame, shm_spmd_run
 from repro.runtime.transport import (  # noqa: F401  (re-exported API)
     SimMPIAborted,
     SimMPITimeout,
@@ -224,6 +230,9 @@ class SimComm:
         self._transport = (
             transport if transport is not None else ThreadTransport(shared, rank)
         )
+        # scatter-gather send capability (the shm ring writes payload
+        # parts straight into shared memory, skipping the big join)
+        self._push_parts = getattr(self._transport, "push_parts", None)
         self.phase = "default"
         # out-of-order tag buffer per source
         self._stash = {}
@@ -318,6 +327,17 @@ class SimComm:
             return 0
         if self._faults is not None:
             return self._send_faulty(obj, dest, tag)
+        if self._push_parts is not None:
+            # scatter-gather path: the ledger records the exact frame
+            # length (the parts concatenate to the very bytes ``encode``
+            # would produce), so accounting parity across backends holds
+            tick = perf_counter()
+            parts = _encode_parts(obj)
+            n = _parts_nbytes(parts)
+            PERF.add("codec.encode." + self.phase, perf_counter() - tick)
+            self._shared.stats.record(self.rank, dest, n, self.phase)
+            self._push_parts(dest, tag, parts, n)
+            return n
         payload = self._encode_timed(obj)
         self._shared.stats.record(self.rank, dest, len(payload), self.phase)
         self._transport.push(dest, tag, payload)
@@ -329,9 +349,12 @@ class SimComm:
         PERF.add("codec.encode." + self.phase, perf_counter() - tick)
         return payload
 
-    def _decode_timed(self, payload: bytes):
+    def _decode_timed(self, payload):
         tick = perf_counter()
-        obj = _decode(payload)
+        if isinstance(payload, RingFrame):
+            obj = payload.decode()  # zero-copy views pin the ring slot
+        else:
+            obj = _decode(payload)
         PERF.add("codec.decode." + self.phase, perf_counter() - tick)
         return obj
 
@@ -700,15 +723,17 @@ def spmd_run(
     re-raised with its rank attached.
 
     ``transport`` selects the wire backend: ``"thread"`` (the default —
-    one thread per rank, in-process queues) or ``"process"`` (one forked
+    one thread per rank, in-process queues), ``"process"`` (one forked
     process per rank over Unix sockets, for real multi-core wall-clock;
-    see :mod:`repro.runtime.transport`).  When omitted, the
+    see :mod:`repro.runtime.transport`), or ``"shm"`` (forked ranks from
+    a persistent pool exchanging frames through shared-memory rings with
+    zero-copy receive; see :mod:`repro.runtime.shm`).  When omitted, the
     ``REPRO_TRANSPORT`` environment variable decides.  Fault injection and
     ``recover=True`` are thread-backend features: an environment
-    preference for the process backend falls back to threads, while an
-    explicit ``transport="process"`` with either active raises.  On the
-    process backend a rank process death surfaces as
-    :class:`~repro.runtime.transport.SimRankDied`, never a hang.
+    preference for the process or shm backend falls back to threads, while
+    an explicit ``transport="process"``/``"shm"`` with either active
+    raises.  On the process and shm backends a rank process death surfaces
+    as :class:`~repro.runtime.transport.SimRankDied`, never a hang.
 
     ``faults`` activates the deterministic fault-injection wire of
     :mod:`repro.runtime.faults`; injected events land on
@@ -727,8 +752,11 @@ def spmd_run(
     """
     if size < 1:
         raise ValueError("need at least one rank")
-    if resolve_backend(transport, faults=faults, recover=recover) == "process":
+    backend = resolve_backend(transport, faults=faults, recover=recover)
+    if backend == "process":
         return process_spmd_run(size, fn, args, kwargs, return_stats=return_stats)
+    if backend == "shm":
+        return shm_spmd_run(size, fn, args, kwargs, return_stats=return_stats)
     shared = _Shared(size, faults=faults, recover=recover)
     shared.stats.backend = "thread"
     results = [None] * size

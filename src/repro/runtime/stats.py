@@ -33,15 +33,29 @@ class TrafficStats:
         #: ``{span name: (calls, seconds)}``, all ranks aggregated
         self.kernel_perf = None
         #: set by spmd_run: the transport backend the run actually used
-        #: (``"thread"``/``"process"``) — assert this, not the config,
-        #: when a test must know which wire it exercised
+        #: (``"thread"``/``"process"``/``"shm"``) — assert this, not the
+        #: config, when a test must know which wire it exercised
         self.backend = None
+        # wire-level channel counters, orthogonal to the logical ledger
+        # above: which physical channel each frame actually travelled
+        # (``queue_*`` on thread, ``socket_*`` on process, ``ring_*`` /
+        # ``spill_*`` on shm) plus ``copied_bytes`` — payload bytes that
+        # crossed the channel by copy rather than as a zero-copy view
+        self.wire = defaultdict(int)
 
     def record(self, src: int, dst: int, nbytes: int, phase: str) -> None:
         with self._lock:
             self.messages[phase] += 1
             self.bytes[phase] += nbytes
             self.by_pair[(src, dst)] += 1
+
+    def record_wire(self, channel: str, nbytes: int, copied: int) -> None:
+        """Count one frame on a physical channel: ``nbytes`` on the wire,
+        of which ``copied`` crossed by memcpy (zero for zero-copy views)."""
+        with self._lock:
+            self.wire[channel + "_frames"] += 1
+            self.wire[channel + "_bytes"] += nbytes
+            self.wire["copied_bytes"] += copied
 
     def record_round(self, label: str, rnd: int, nbytes: int) -> None:
         """Accumulate ``nbytes`` against round ``rnd`` of an iterative
@@ -85,6 +99,7 @@ class TrafficStats:
                     label: [[rnd, n] for rnd, n in rounds.items()]
                     for label, rounds in self.round_bytes.items()
                 },
+                "wire": dict(self.wire),
             }
 
     def merge_dict(self, snap: dict) -> None:
@@ -101,6 +116,8 @@ class TrafficStats:
             for label, rounds in snap.get("round_bytes", {}).items():
                 for rnd, n in rounds:
                     self.round_bytes[label][rnd] += n
+            for channel, n in snap.get("wire", {}).items():
+                self.wire[channel] += n
 
     def phase_report(self) -> dict:
         """``{phase: (messages, bytes)}`` snapshot."""
@@ -122,12 +139,18 @@ class TrafficStats:
                 ph: self.bytes[ph] / total for ph in sorted(self.bytes)
             }
 
+    def wire_report(self) -> dict:
+        """Plain-dict snapshot of the physical-channel counters."""
+        with self._lock:
+            return dict(self.wire)
+
     def reset(self) -> None:
         with self._lock:
             self.messages.clear()
             self.bytes.clear()
             self.by_pair.clear()
             self.round_bytes.clear()
+            self.wire.clear()
 
 
 class PhaseTimer:

@@ -23,7 +23,7 @@ posts all its first-step frames immediately and returns a ``Request``;
 the deferred ``wait()`` only ever *pulls*, so no new wire primitive
 (and no per-backend code) was needed for overlap.
 
-Two backends implement the seam:
+Three backends implement the seam:
 
 * :class:`ThreadTransport` — the original in-process wire: one
   ``queue.Queue`` per ordered rank pair, a ``threading.Barrier``, the
@@ -41,11 +41,17 @@ Two backends implement the seam:
   :class:`SimRankDied` (a :class:`SimMPIAborted`) on peers and in the
   caller, never a hang.
 
-Backend selection: ``spmd_run(..., transport="thread"|"process")``, or the
-``REPRO_TRANSPORT`` environment variable when the argument is omitted (see
-:func:`resolve_backend`).  Fault plans and ``recover=True`` force the
-thread backend; asking for the process backend *explicitly* with either
-active is an error.
+* :class:`~repro.runtime.shm.ShmTransport` — forked ranks like the
+  process backend, but bulk frames travel through per-rank-pair shared
+  memory rings (zero-copy on the receive side) and the workers persist
+  in a rank pool across runs; the socketpairs remain as the spill and
+  control channel.  See :mod:`repro.runtime.shm`.
+
+Backend selection: ``spmd_run(..., transport="thread"|"process"|"shm")``,
+or the ``REPRO_TRANSPORT`` environment variable when the argument is
+omitted (see :func:`resolve_backend`).  Fault plans and ``recover=True``
+force the thread backend; asking for the process or shm backend
+*explicitly* with either active is an error.
 
 Why sends never deadlock: sockets are non-blocking and a sender whose
 kernel buffer is full drains its *own* receive side into user-space
@@ -76,6 +82,7 @@ __all__ = [
     "ThreadTransport",
     "ProcessTransport",
     "TransportEmpty",
+    "finish_spmd_run",
     "pack_frame",
     "resolve_backend",
 ]
@@ -138,24 +145,25 @@ def resolve_backend(explicit=None, faults=None, recover: bool = False) -> str:
     """
     global _FALLBACK_WARNED
     name = explicit or env_choice(
-        "REPRO_TRANSPORT", ("thread", "process"), default="thread"
+        "REPRO_TRANSPORT", ("thread", "process", "shm"), default="thread"
     )
-    if name not in ("thread", "process"):
+    if name not in ("thread", "process", "shm"):
         raise ValueError(
-            f"unknown transport {name!r} (expected 'thread' or 'process')"
+            f"unknown transport {name!r} "
+            "(expected 'thread', 'process' or 'shm')"
         )
-    if name == "process" and (faults is not None or recover):
-        if explicit == "process":
+    if name in ("process", "shm") and (faults is not None or recover):
+        if explicit is not None:
             raise ValueError(
                 "fault injection and crash recovery run on the thread "
-                "backend only; drop transport='process' or the "
+                f"backend only; drop transport={name!r} or the "
                 "faults/recover options"
             )
         if not _FALLBACK_WARNED:
             _FALLBACK_WARNED = True
             reason = "fault injection" if faults is not None else "crash recovery"
             warnings.warn(
-                f"REPRO_TRANSPORT=process ignored: {reason} requires the "
+                f"REPRO_TRANSPORT={name} ignored: {reason} requires the "
                 "thread backend; this run (and any later ones this "
                 "process) falls back to transport='thread'",
                 RuntimeWarning,
@@ -215,6 +223,8 @@ class ThreadTransport:
         self._rank = rank
 
     def push(self, dest: int, tag: int, payload: bytes) -> None:
+        # frames cross by reference — nothing is memcpy'd on this channel
+        self._shared.stats.record_wire("queue", len(payload), 0)
         self._shared.queues[(self._rank, dest)].put((tag, payload))
 
     def pull(self, source: int, slice_s: float):
@@ -245,6 +255,9 @@ class ProcessTransport:
     def __init__(self, rank: int, size: int, peers: dict, ctrl):
         self.rank = rank
         self.size = size
+        #: physical-channel counters (frames/bytes per channel, memcpy'd
+        #: bytes), folded into ``stats.wire`` by the worker at end of run
+        self.wire = {}
         self._peers = dict(peers)
         self._ctrl = ctrl
         self._sel = selectors.DefaultSelector()
@@ -279,22 +292,39 @@ class ProcessTransport:
                     chunk = b""
                 if not chunk:
                     self._sel.unregister(sock)
-                    if src == _PARENT:
-                        self._aborted = True  # parent died: run is over
-                    else:
-                        self._eof.add(src)
+                    self._on_channel_eof(src)
                     break
                 if src == _PARENT:
-                    if b"A" in chunk:
-                        self._aborted = True
-                    if b"R" in chunk:
-                        self._released = True
+                    self._on_parent_chunk(chunk)
                 else:
                     for tag, payload in self._asm[src].feed(chunk):
                         if tag == _BARRIER_TAG:
-                            self._barrier_seen[src] += 1
+                            self._on_barrier(src, payload)
                         else:
-                            self._inbox[src].append((tag, payload))
+                            self._deliver(src, tag, payload)
+
+    # The four hooks below are the subclassing seam of the shared-memory
+    # transport (:class:`repro.runtime.shm.ShmTransport`): it reuses the
+    # select loop, frame reassembly and the non-blocking send discipline,
+    # and overrides only what reaches the inbox and how the parent speaks.
+
+    def _on_channel_eof(self, src: int) -> None:
+        if src == _PARENT:
+            self._aborted = True  # parent died: run is over
+        else:
+            self._eof.add(src)
+
+    def _on_parent_chunk(self, chunk: bytes) -> None:
+        if b"A" in chunk:
+            self._aborted = True
+        if b"R" in chunk:
+            self._released = True
+
+    def _on_barrier(self, src: int, payload) -> None:
+        self._barrier_seen[src] += 1
+
+    def _deliver(self, src: int, tag: int, payload) -> None:
+        self._inbox[src].append((tag, payload))
 
     # ------------------------------------------------------------------ #
     # transport interface
@@ -311,6 +341,11 @@ class ProcessTransport:
             # like the threaded wire's send-to-a-dead-rank: the message is
             # void; the failure surfaces through the parent's abort
             return
+        if tag != _BARRIER_TAG:  # barrier control frames are not traffic
+            wire = self.wire
+            wire["socket_frames"] = wire.get("socket_frames", 0) + 1
+            wire["socket_bytes"] = wire.get("socket_bytes", 0) + len(payload)
+            wire["copied_bytes"] = wire.get("copied_bytes", 0) + len(payload)
         sock = self._peers[dest]
         data = memoryview(pack_frame(tag, payload))
         while data:
@@ -453,8 +488,12 @@ def _worker_main(rank, size, fn, args, kwargs, pair_socks, ctrl_pairs):
     PERF.reset()  # fork copies the parent registry; report only our own
     try:
         result = fn(comm, *args, **kwargs)
+        for k, v in transport.wire.items():
+            shared.stats.wire[k] += v
         msg = ("ok", result, shared.stats.as_dict(), PERF.snapshot())
     except BaseException as exc:  # noqa: BLE001 - report, never hang peers
+        for k, v in transport.wire.items():
+            shared.stats.wire[k] += v
         msg = ("err", exc, shared.stats.as_dict(), PERF.snapshot())
     try:
         frame = _encode(msg)
@@ -490,28 +529,10 @@ def process_spmd_run(size, fn, args, kwargs, return_stats=False):
     from repro.runtime.stats import TrafficStats
 
     ctx = multiprocessing.get_context("fork")
-    pair_socks = {
-        (i, j): socket.socketpair()
-        for i in range(size)
-        for j in range(i + 1, size)
-    }
-    ctrl_pairs = [socket.socketpair() for _ in range(size)]
+    pair_socks = {}
+    ctrl_pairs = []
     procs = []
-    for r in range(size):
-        p = ctx.Process(
-            target=_worker_main,
-            args=(r, size, fn, args, kwargs, pair_socks, ctrl_pairs),
-            name=f"simmpi-rank-{r}",
-            daemon=True,
-        )
-        p.start()
-        procs.append(p)
-    for si, sj in pair_socks.values():
-        _close_quietly(si)
-        _close_quietly(sj)
-    for _, child_end in ctrl_pairs:
-        _close_quietly(child_end)
-    parent_ends = [pe for pe, _ in ctrl_pairs]
+    sel = None
 
     results = [None] * size
     errors = [None] * size
@@ -522,18 +543,43 @@ def process_spmd_run(size, fn, args, kwargs, return_stats=False):
     stats.backend = "process"
 
     def abort_all() -> None:
-        for r, pe in enumerate(parent_ends):
+        for r, (pe, _) in enumerate(ctrl_pairs):
             if not done[r]:
                 try:
                     pe.send(b"A")
                 except OSError:
                     pass
 
-    sel = selectors.DefaultSelector()
-    for r, pe in enumerate(parent_ends):
-        pe.setblocking(False)
-        sel.register(pe, selectors.EVENT_READ, r)
+    # Setup runs *inside* the try so a failure mid-fork (say rank 3's
+    # Process.start() raising) still aborts, reaps and closes the ranks
+    # that were already forked — no leaked children, no leaked FDs.
     try:
+        pair_socks.update(
+            ((i, j), socket.socketpair())
+            for i in range(size)
+            for j in range(i + 1, size)
+        )
+        ctrl_pairs.extend(socket.socketpair() for _ in range(size))
+        for r in range(size):
+            p = ctx.Process(
+                target=_worker_main,
+                args=(r, size, fn, args, kwargs, pair_socks, ctrl_pairs),
+                name=f"simmpi-rank-{r}",
+                daemon=True,
+            )
+            p.start()
+            procs.append(p)
+        for si, sj in pair_socks.values():
+            _close_quietly(si)
+            _close_quietly(sj)
+        for _, child_end in ctrl_pairs:
+            _close_quietly(child_end)
+        parent_ends = [pe for pe, _ in ctrl_pairs]
+
+        sel = selectors.DefaultSelector()
+        for r, pe in enumerate(parent_ends):
+            pe.setblocking(False)
+            sel.register(pe, selectors.EVENT_READ, r)
         while not all(done):
             for key, _ in sel.select(_POLL):
                 r, sock = key.data, key.fileobj
@@ -567,8 +613,11 @@ def process_spmd_run(size, fn, args, kwargs, return_stats=False):
                             errors[r] = payload
                             if not isinstance(payload, SimMPIAborted):
                                 abort_all()
+    except BaseException:
+        abort_all()  # setup failure or interrupt: running ranks must stop
+        raise
     finally:
-        for pe in parent_ends:
+        for pe, _ in ctrl_pairs:
             try:
                 pe.send(b"R")
             except OSError:
@@ -579,14 +628,28 @@ def process_spmd_run(size, fn, args, kwargs, return_stats=False):
             if p.is_alive():
                 p.terminate()
                 p.join(timeout=5)
-        sel.close()
-        for pe in parent_ends:
+        if sel is not None:
+            sel.close()
+        # closing a socket twice is a no-op, so sweeping everything here
+        # also covers setups that failed before the normal close pass
+        for si, sj in pair_socks.values():
+            _close_quietly(si)
+            _close_quietly(sj)
+        for pe, ce in ctrl_pairs:
             _close_quietly(pe)
+            _close_quietly(ce)
 
-    # error precedence mirrors the threaded spmd_run: SimMPIAborted and
-    # BrokenBarrierError on peers are consequences, not causes.  A rank
-    # process death is the root cause and surfaces typed and clean —
-    # survivors' SimRankDied views of the same death are its consequences.
+    return finish_spmd_run(results, errors, deaths, stats, return_stats)
+
+
+def finish_spmd_run(results, errors, deaths, stats, return_stats):
+    """Apply the forked backends' shared error precedence and return shape.
+
+    Mirrors the threaded ``spmd_run``: SimMPIAborted and BrokenBarrierError
+    on peers are consequences, not causes.  A rank process death is the
+    root cause and surfaces typed and clean — survivors' SimRankDied views
+    of the same death are its consequences.
+    """
     if deaths:
         raise deaths[0]
     secondary = (SimMPIAborted, threading.BrokenBarrierError)

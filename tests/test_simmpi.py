@@ -1,10 +1,11 @@
 """Transport conformance suite for the simulated message-passing runtime.
 
-Every semantic case runs on *both* backends — ``thread`` (in-process
-queues) and ``process`` (forked ranks over sockets) — through the
-``backend`` fixture, and the traffic-ledger cases assert byte-for-byte
-identical accounting across them.  A new transport earns its place by
-passing this file unchanged.
+Every semantic case runs on *all three* backends — ``thread``
+(in-process queues), ``process`` (forked ranks over sockets) and ``shm``
+(pooled forked ranks over shared-memory rings) — through the ``backend``
+fixture, and the traffic-ledger cases assert byte-for-byte identical
+accounting across them.  A new transport earns its place by passing this
+file unchanged.
 """
 
 import os
@@ -23,7 +24,10 @@ from repro.runtime.faults import FaultPlan
 from repro.runtime.stats import PhaseTimer, TrafficStats
 from repro.runtime.transport import resolve_backend
 
-BACKENDS = ("thread", "process")
+BACKENDS = ("thread", "process", "shm")
+
+#: the backends whose ranks are OS processes (can die, can pool)
+FORKED_BACKENDS = ("process", "shm")
 
 
 @pytest.fixture(params=BACKENDS)
@@ -445,7 +449,8 @@ class TestTimeouts:
 
     def test_timeout_identical_across_backends(self):
         captured = {b: run(b, 2, self._timeout_prog)[1] for b in BACKENDS}
-        assert captured["thread"] == captured["process"]
+        for b in BACKENDS[1:]:
+            assert captured[b] == captured["thread"], b
 
     def test_uncaught_timeout_propagates(self, backend):
         def prog(comm):
@@ -531,14 +536,15 @@ class TestLedgerConformance:
             for b in BACKENDS
         }
         res_t, stats_t = runs["thread"]
-        res_p, stats_p = runs["process"]
         assert stats_t.backend == "thread"
-        assert stats_p.backend == "process"
-        assert res_t == res_p
-        assert stats_t.total_messages == stats_p.total_messages
-        assert stats_t.total_bytes == stats_p.total_bytes
-        assert stats_t.phase_report() == stats_p.phase_report()
-        assert dict(stats_t.by_pair) == dict(stats_p.by_pair)
+        for b in BACKENDS[1:]:
+            res_b, stats_b = runs[b]
+            assert stats_b.backend == b
+            assert res_b == res_t, b
+            assert stats_b.total_messages == stats_t.total_messages, b
+            assert stats_b.total_bytes == stats_t.total_bytes, b
+            assert stats_b.phase_report() == stats_t.phase_report(), b
+            assert dict(stats_b.by_pair) == dict(stats_t.by_pair), b
 
     def test_recorded_bytes_equal_frame_length(self, backend):
         from repro.runtime.codec import encode
@@ -557,10 +563,16 @@ class TestLedgerConformance:
         assert stats.total_bytes == len(encode(payload))
 
 
-class TestProcessBackendOnly:
-    """Behaviour only the process backend can exhibit."""
+@pytest.fixture(params=FORKED_BACKENDS)
+def forked_backend(request):
+    """The backends whose ranks are separate OS processes."""
+    return request.param
 
-    def test_rank_process_death_is_clean(self):
+
+class TestForkedBackendsOnly:
+    """Behaviour only the forked (process/shm) backends can exhibit."""
+
+    def test_rank_process_death_is_clean(self, forked_backend):
         """A rank's OS process dying mid-run surfaces as a typed
         :class:`SimRankDied` in the caller — never a hang."""
 
@@ -571,13 +583,13 @@ class TestProcessBackendOnly:
 
         t0 = time.monotonic()
         with pytest.raises(SimRankDied, match="rank 1 process died"):
-            run("process", 3, prog)
+            run(forked_backend, 3, prog)
         assert time.monotonic() - t0 < 20.0
 
     def test_rank_death_is_simmpiaborted_family(self):
         assert issubclass(SimRankDied, SimMPIAborted)
 
-    def test_survivor_sees_clean_error(self):
+    def test_survivor_sees_clean_error(self, forked_backend):
         """The peer blocked on the dead rank gets a SimMPIAborted-family
         error from its receive, not a timeout or a hang."""
 
@@ -591,21 +603,21 @@ class TestProcessBackendOnly:
             return "no error"
 
         with pytest.raises(SimRankDied):
-            run("process", 2, prog)
+            run(forked_backend, 2, prog)
 
-    def test_results_cross_process_boundary(self):
+    def test_results_cross_process_boundary(self, forked_backend):
         """Rank return values (arbitrary picklable objects) survive the
         trip back to the parent."""
 
         def prog(comm):
             return {"rank": comm.rank, "arr": np.full(3, comm.rank)}
 
-        res = run("process", 3, prog)
+        res = run(forked_backend, 3, prog)
         for r, item in enumerate(res):
             assert item["rank"] == r
             assert np.array_equal(item["arr"], np.full(3, r))
 
-    def test_perf_spans_merge_to_parent(self):
+    def test_perf_spans_merge_to_parent(self, forked_backend):
         from repro.perf import PERF
 
         def prog(comm):
@@ -614,9 +626,81 @@ class TestProcessBackendOnly:
             return True
 
         PERF.reset()
-        run("process", 2, prog)
+        run(forked_backend, 2, prog)
         snap = PERF.snapshot()
         assert any(name == "codec.encode.P9" for name in snap)
+
+    def test_no_surviving_children_after_failure(self, forked_backend):
+        """Teardown must reap every rank process even when the run raises
+        — a raising rank, not a clean return — and leave no FDs behind.
+        Pool workers are expected survivors for shm; everything else must
+        be joined by the time spmd_run re-raises."""
+        import multiprocessing
+
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("boom")
+            comm.recv(0, timeout=30.0)
+
+        with pytest.raises(RuntimeError, match="rank 0"):
+            run(forked_backend, 3, prog)
+        # parked shm pool workers are *expected* survivors (that is the
+        # point of the pool); retire them so the assertion below only
+        # sees what teardown actually failed to reap
+        from repro.runtime.shm import shutdown_pools
+
+        shutdown_pools()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            stragglers = [
+                p for p in multiprocessing.active_children()
+                if p.name.startswith("simmpi-")
+            ]
+            if not stragglers:
+                break
+            time.sleep(0.05)
+        assert not stragglers, [p.name for p in stragglers]
+
+    def test_children_and_fds_reaped_when_setup_raises(self, monkeypatch):
+        """A failure *mid-setup* (here: the third fork refused) must not
+        leak the ranks that did start, nor their sockets: the teardown
+        path reaps children and closes every pair/ctrl FD before the
+        error leaves spmd_run."""
+        import gc
+        import multiprocessing
+        from multiprocessing.context import ForkProcess
+
+        gc.collect()
+        fds_before = len(os.listdir("/proc/self/fd"))
+        real_start = ForkProcess.start
+        calls = {"n": 0}
+
+        def flaky_start(proc):
+            if proc.name.startswith("simmpi-rank-"):
+                calls["n"] += 1
+                if calls["n"] == 3:
+                    raise OSError("fork refused")
+            return real_start(proc)
+
+        monkeypatch.setattr(ForkProcess, "start", flaky_start)
+        with pytest.raises(OSError, match="fork refused"):
+            run("process", 3, lambda comm: None)
+        monkeypatch.undo()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            stragglers = [
+                p for p in multiprocessing.active_children()
+                if p.name.startswith("simmpi-rank-")
+            ]
+            if not stragglers:
+                break
+            time.sleep(0.05)
+        assert not stragglers, [p.name for p in stragglers]
+        gc.collect()
+        fds_after = len(os.listdir("/proc/self/fd"))
+        assert fds_after <= fds_before + 2, (
+            f"fd leak across failed setup: {fds_before} -> {fds_after}"
+        )
 
 
 class TestBackendSelection:
